@@ -1,0 +1,132 @@
+// Command sfcp solves single function coarsest partition instances.
+//
+// Input format (whitespace separated, read from stdin or -in file):
+//
+//	n
+//	f(0) f(1) ... f(n-1)      (0-based)
+//	b(0) b(1) ... b(n-1)
+//
+// Output: one line with the n dense Q-labels, plus a summary on stderr.
+//
+// Usage:
+//
+//	sfcp [-algo auto|moore|hopcroft|linear|parallel-pram|native-parallel|doubling-hash|doubling-sort] [-in file] [-stats]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sfcp"
+)
+
+func main() {
+	algoName := flag.String("algo", "auto", "solver algorithm")
+	inPath := flag.String("in", "", "input file (default stdin)")
+	stats := flag.Bool("stats", false, "print PRAM complexity counters to stderr")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	ins, err := readInstance(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: algo})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	w := bufio.NewWriter(os.Stdout)
+	for i, l := range res.Labels {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, l)
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+
+	fmt.Fprintf(os.Stderr, "n=%d classes=%d algo=%s wall=%v\n",
+		len(res.Labels), res.NumClasses, algo, elapsed.Round(time.Microsecond))
+	if *stats && res.Stats != nil {
+		fmt.Fprintf(os.Stderr, "rounds=%d work=%d maxprocs=%d reads=%d writes=%d cells=%d\n",
+			res.Stats.Rounds, res.Stats.Work, res.Stats.MaxProcs,
+			res.Stats.Reads, res.Stats.Writes, res.Stats.Cells)
+	}
+}
+
+func parseAlgo(name string) (sfcp.Algorithm, error) {
+	algos := []sfcp.Algorithm{
+		sfcp.AlgorithmAuto, sfcp.AlgorithmMoore, sfcp.AlgorithmHopcroft,
+		sfcp.AlgorithmLinear, sfcp.AlgorithmParallelPRAM,
+		sfcp.AlgorithmNativeParallel, sfcp.AlgorithmDoublingHash,
+		sfcp.AlgorithmDoublingSort,
+	}
+	for _, a := range algos {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	var names []string
+	for _, a := range algos {
+		names = append(names, a.String())
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want one of %s)", name, strings.Join(names, ", "))
+}
+
+func readInstance(r io.Reader) (sfcp.Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	sc.Split(bufio.ScanWords)
+	next := func() (int, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return 0, err
+			}
+			return 0, io.ErrUnexpectedEOF
+		}
+		return strconv.Atoi(sc.Text())
+	}
+	n, err := next()
+	if err != nil {
+		return sfcp.Instance{}, fmt.Errorf("reading n: %w", err)
+	}
+	ins := sfcp.Instance{F: make([]int, n), B: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if ins.F[i], err = next(); err != nil {
+			return sfcp.Instance{}, fmt.Errorf("reading f(%d): %w", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ins.B[i], err = next(); err != nil {
+			return sfcp.Instance{}, fmt.Errorf("reading b(%d): %w", i, err)
+		}
+	}
+	return ins, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfcp:", err)
+	os.Exit(1)
+}

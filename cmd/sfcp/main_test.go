@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sfcp"
+)
+
+func TestReadInstance(t *testing.T) {
+	in := "3\n1 2 0\n0 0 1\n"
+	ins, err := readInstance(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.F) != 3 || ins.F[0] != 1 || ins.F[2] != 0 || ins.B[2] != 1 {
+		t.Fatalf("parsed %+v", ins)
+	}
+}
+
+func TestReadInstanceWhitespaceAgnostic(t *testing.T) {
+	in := "2 1 0 \t 1\n0"
+	ins, err := readInstance(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.F[0] != 1 || ins.F[1] != 0 || ins.B[0] != 1 || ins.B[1] != 0 {
+		t.Fatalf("parsed %+v", ins)
+	}
+}
+
+func TestReadInstanceErrors(t *testing.T) {
+	cases := []string{
+		"",            // no n
+		"3\n1 2",      // truncated f
+		"2\n0 1\n0",   // truncated b
+		"x",           // not a number
+		"2\n0 z\n0 0", // bad f value
+	}
+	for _, in := range cases {
+		if _, err := readInstance(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	for _, name := range []string{"auto", "moore", "hopcroft", "linear",
+		"parallel-pram", "native-parallel", "doubling-hash", "doubling-sort"} {
+		if _, err := parseAlgo(name); err != nil {
+			t.Errorf("parseAlgo(%q): %v", name, err)
+		}
+	}
+	if _, err := parseAlgo("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestEndToEndSolve(t *testing.T) {
+	// The paper instance through readInstance + SolveWith.
+	in := "16\n2 4 6 8 10 12 1 3 5 7 9 11 14 15 16 13\n1 2 1 1 2 2 3 3 1 1 3 1 1 2 1 3\n"
+	// Convert to 0-based: the file format is 0-based, so rebuild.
+	ins, err := readInstance(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins.F {
+		ins.F[i]--
+	}
+	res, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: sfcp.AlgorithmParallelPRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClasses != 4 {
+		t.Fatalf("classes = %d, want 4", res.NumClasses)
+	}
+}

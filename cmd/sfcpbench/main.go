@@ -1,0 +1,46 @@
+// Command sfcpbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sfcpbench -exp E1          # one experiment
+//	sfcpbench -all             # everything
+//	sfcpbench -all -quick      # smaller sweeps
+//	sfcpbench -list            # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfcp/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A3)")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	list := flag.Bool("list", false, "list experiments")
+	seed := flag.Int64("seed", 1993, "workload seed")
+	flag.Parse()
+
+	cfg := bench.Config{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		bench.RunAll(cfg)
+	case *exp != "":
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sfcpbench: unknown experiment %q; -list shows the catalogue\n", *exp)
+			os.Exit(1)
+		}
+		e.Run(cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Command sfcpgen generates workload instances in the text format consumed
+// by cmd/sfcp.
+//
+// Usage:
+//
+//	sfcpgen -kind random -n 65536 -blocks 3 -seed 7 > instance.txt
+//	sfcpgen -kind cycles -k 64 -l 256 -period 8
+//
+// Kinds: random, permutation, cycles (k cycles of length l with equivalent
+// rotated labels), distinct-cycles, broom, star, dfa.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sfcp/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "random", "workload kind")
+	n := flag.Int("n", 1024, "instance size (random/permutation/broom/star/dfa)")
+	blocks := flag.Int("blocks", 3, "number of initial-partition blocks")
+	k := flag.Int("k", 8, "cycle count (cycles/distinct-cycles)")
+	l := flag.Int("l", 16, "cycle length (cycles/distinct-cycles)")
+	period := flag.Int("period", 4, "label period (cycles)")
+	cyc := flag.Int("cyc", 16, "cycle length of the broom")
+	paths := flag.Int("paths", 4, "number of chains of the broom")
+	accept := flag.Int("accept", 300, "accepting density per mille (dfa)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var ins workload.Instance
+	switch *kind {
+	case "random":
+		ins = workload.RandomFunction(*seed, *n, *blocks)
+	case "permutation":
+		ins = workload.RandomPermutation(*seed, *n, *blocks)
+	case "cycles":
+		ins = workload.CycleFamily(*seed, *k, *l, *period)
+	case "distinct-cycles":
+		ins = workload.DistinctCycles(*seed, *k, *l, *blocks)
+	case "broom":
+		ins = workload.Broom(*seed, *n, *cyc, *paths)
+	case "star":
+		ins = workload.Star(*seed, *n, *blocks)
+	case "dfa":
+		ins = workload.UnaryDFA(*seed, *n, *accept)
+	default:
+		fmt.Fprintf(os.Stderr, "sfcpgen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, len(ins.F))
+	for i, v := range ins.F {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, v)
+	}
+	fmt.Fprintln(w)
+	for i, v := range ins.B {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, v)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,54 @@
+package sfcp_test
+
+import (
+	"fmt"
+
+	"sfcp"
+)
+
+// The paper's Example 2.2: a function whose graph is two cycles, with a
+// three-block initial partition. The coarsest partition has four blocks.
+func ExampleSolve() {
+	// f in 0-based form (paper's A_f minus one).
+	f := []int{1, 3, 5, 7, 9, 11, 0, 2, 4, 6, 8, 10, 13, 14, 15, 12}
+	b := []int{1, 2, 1, 1, 2, 2, 3, 3, 1, 1, 3, 1, 1, 2, 1, 3}
+	labels, err := sfcp.Solve(f, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(labels)
+	fmt.Println("classes:", sfcp.NumClasses(labels))
+	// Output:
+	// [0 1 0 2 1 1 3 3 0 2 3 2 0 1 2 3]
+	// classes: 4
+}
+
+func ExampleSolveWith() {
+	f := []int{1, 2, 0, 0, 3}
+	b := []int{0, 1, 0, 1, 0}
+	res, err := sfcp.SolveWith(sfcp.Instance{F: f, B: b},
+		sfcp.Options{Algorithm: sfcp.AlgorithmParallelPRAM})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("classes:", res.NumClasses)
+	fmt.Println("simulated PRAM rounds > 0:", res.Stats.Rounds > 0)
+	// Output:
+	// classes: 5
+	// simulated PRAM rounds > 0: true
+}
+
+func ExampleMinimalRotation() {
+	fmt.Println(sfcp.MinimalRotation([]int{3, 1, 2, 3, 1, 1}))
+	fmt.Println(sfcp.CanonicalRotation([]int{3, 1, 2}))
+	// Output:
+	// 4
+	// [1 2 3]
+}
+
+func ExampleSortStrings() {
+	strs := [][]int{{2, 1}, {1}, {1, 0}, {}}
+	fmt.Println(sfcp.SortStrings(strs))
+	// Output:
+	// [3 1 2 0]
+}

@@ -1,0 +1,89 @@
+// necklace canonicalizes circular strings — the Section 3.1 subproblem of
+// independent interest. Two necklaces (cyclic sequences of colored beads)
+// are the same object iff one is a rotation of the other; the minimal
+// starting point (m.s.p.) gives a canonical form, so grouping necklaces
+// reduces to grouping canonical strings. The same operation canonicalizes
+// chemical ring structures, cyclic gene orders, and polygon vertex lists.
+//
+//	go run ./examples/necklace
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sfcp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+
+	// Generate a base set of necklaces, then hide each among random
+	// rotations of itself.
+	bases := [][]int{
+		{1, 2, 1, 3},
+		{2, 0, 2, 0, 1},
+		{1, 1, 2, 3, 2, 1},
+		{0, 1, 2},
+	}
+	var necklaces [][]int
+	owner := map[int]int{}
+	for id, base := range bases {
+		for copies := 0; copies < 3; copies++ {
+			shift := rng.Intn(len(base))
+			rot := make([]int, len(base))
+			for i := range base {
+				rot[i] = base[(i+shift)%len(base)]
+			}
+			owner[len(necklaces)] = id
+			necklaces = append(necklaces, rot)
+		}
+	}
+	rng.Shuffle(len(necklaces), func(i, j int) {
+		necklaces[i], necklaces[j] = necklaces[j], necklaces[i]
+		owner[i], owner[j] = owner[j], owner[i]
+	})
+
+	// Canonicalize and group.
+	groups := map[string][]int{}
+	for i, nk := range necklaces {
+		canon := sfcp.CanonicalRotation(nk)
+		groups[fmt.Sprint(canon)] = append(groups[fmt.Sprint(canon)], i)
+	}
+	fmt.Printf("%d necklaces fell into %d groups (expected %d):\n",
+		len(necklaces), len(groups), len(bases))
+	for canon, members := range groups {
+		fmt.Printf("  canonical %v <- necklaces %v\n", canon, members)
+		// Sanity: all members really are rotations of each other.
+		for _, m := range members[1:] {
+			if !sfcp.IsRotationOf(necklaces[members[0]], necklaces[m]) {
+				fmt.Println("  ERROR: grouped non-rotations!")
+			}
+		}
+	}
+
+	// The parallel m.s.p. (Lemma 3.7) on a large random necklace, with
+	// the measured PRAM complexity.
+	big := make([]int, 1<<14)
+	for i := range big {
+		big[i] = rng.Intn(4)
+	}
+	idx, stats := sfcp.MinimalRotationPRAM(big)
+	fmt.Printf("\nlarge necklace (n=%d): m.s.p. at index %d\n", len(big), idx)
+	fmt.Printf("parallel algorithm used %d rounds and %d operations "+
+		"(Lemma 3.7: O(log n) time, O(n log log n) operations)\n", stats.Rounds, stats.Work)
+	if idx != sfcp.MinimalRotation(big) {
+		fmt.Println("ERROR: parallel and sequential m.s.p. disagree")
+	}
+
+	// Periodic necklaces: the smallest repeating prefix detects internal
+	// symmetry (a bracelet stamped from a repeated motif).
+	motif := []int{1, 3, 2, 2}
+	stamped := make([]int, 0, 20)
+	for r := 0; r < 5; r++ {
+		stamped = append(stamped, motif...)
+	}
+	fmt.Printf("\nstamped necklace %v\n", stamped)
+	fmt.Printf("smallest repeating motif length: %d (motif %v)\n",
+		sfcp.SmallestRepeatingPrefix(stamped), motif)
+}

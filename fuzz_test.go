@@ -1,0 +1,64 @@
+package sfcp
+
+import (
+	"testing"
+)
+
+// FuzzSolve cross-checks the paper's parallel algorithm against naive
+// refinement on arbitrary byte-derived instances. Run longer with:
+//
+//	go test -fuzz=FuzzSolve -fuzztime 30s
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{0, 1, 0, 1})
+	f.Add([]byte{1, 0}, []byte{0, 0})
+	f.Add([]byte{0}, []byte{5})
+	f.Add([]byte{3, 3, 3, 3, 2, 1, 0, 7}, []byte{1, 1, 2, 2, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, rawF, rawB []byte) {
+		n := len(rawF)
+		if n == 0 || n > 300 {
+			return
+		}
+		ins := Instance{F: make([]int, n), B: make([]int, n)}
+		for i := range rawF {
+			ins.F[i] = int(rawF[i]) % n
+			if i < len(rawB) {
+				ins.B[i] = int(rawB[i] % 5)
+			}
+		}
+		ref, err := SolveWith(ins, Options{Algorithm: AlgorithmMoore})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{AlgorithmParallelPRAM, AlgorithmLinear, AlgorithmNativeParallel, AlgorithmHopcroft} {
+			res, err := SolveWith(ins, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SamePartition(res.Labels, ref.Labels) {
+				t.Fatalf("%v disagrees with moore on F=%v B=%v", alg, ins.F, ins.B)
+			}
+		}
+	})
+}
+
+// FuzzMinimalRotation cross-checks the parallel m.s.p. against Booth's
+// algorithm.
+func FuzzMinimalRotation(f *testing.F) {
+	f.Add([]byte{3, 1, 2})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{2, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 400 {
+			return
+		}
+		s := make([]int, len(raw))
+		for i, v := range raw {
+			s[i] = int(v % 6)
+		}
+		want := MinimalRotation(s)
+		got, _ := MinimalRotationPRAM(s)
+		if got != want {
+			t.Fatalf("MinimalRotationPRAM(%v) = %d, want %d", s, got, want)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package circ
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfcp/internal/pram"
+)
+
+// The paper states Algorithm simple m.s.p. runs on the COMMON CRCW PRAM
+// ("finds the m.s.p. ... on the common CRCW PRAM"). Verify on a strict
+// machine that rejects disagreeing concurrent writes.
+func TestSimpleMSPRunsOnStrictCommonCRCW(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(50)
+		s := primitiveRandom(rng, n, 3)
+		m := pram.New(pram.CommonCRCW, pram.WithStrict())
+		c := m.NewArrayFromInts(s)
+		got := SimpleMSPPRAM(m, c)
+		if err := m.Err(); err != nil {
+			t.Fatalf("simple m.s.p. violated the Common CRCW model: %v", err)
+		}
+		if want := BruteMSP(s); got != want {
+			t.Fatalf("wrong msp on strict common machine: %d vs %d", got, want)
+		}
+	}
+}
+
+// The efficient algorithm needs the Arbitrary model (its dictionary writes
+// disagree); verify it is correct there under every seed.
+func TestEfficientMSPSeedRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	s := primitiveRandom(rng, 300, 3)
+	want := BruteMSP(s)
+	for seed := uint64(1); seed <= 8; seed++ {
+		m := pram.New(pram.ArbitraryCRCW, pram.WithSeed(seed))
+		c := m.NewArrayFromInts(s)
+		if got := EfficientMSPPRAM(m, c, Options{}); got != want {
+			t.Fatalf("seed %d: msp = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// Priority CRCW is stronger than Arbitrary: everything must still work.
+func TestMSPOnPriorityCRCW(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(80)
+		s := primitiveRandom(rng, n, 4)
+		m := pram.New(pram.PriorityCRCW)
+		c := m.NewArrayFromInts(s)
+		if got, want := EfficientMSPPRAM(m, c, Options{}), BruteMSP(s); got != want {
+			t.Fatalf("priority model: msp = %d, want %d (s=%v)", got, want, s)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package circ
+
+import (
+	"math/bits"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+// Pad selects the convention for padding the odd trailing element of a
+// block when grouping into ordered pairs (Step 2 of Algorithm efficient
+// m.s.p.).
+type Pad uint8
+
+const (
+	// PadMin pads a trailing element c as the pair (c, m) where m is the
+	// minimum symbol, exactly as the paper's Step 2 states.
+	PadMin Pad = iota
+	// PadBlank pads with a blank that precedes every symbol, the
+	// convention of Algorithm "sorting strings" (and of the worked
+	// Example 3.4, which sorts the singleton pair first among its group).
+	PadBlank
+)
+
+// PeriodMode selects how PeriodPRAM computes the smallest repeating prefix.
+type PeriodMode uint8
+
+const (
+	// PeriodModeled computes the period on the host with KMP and charges
+	// the machine the published O(log n) time / O(n) operations of the
+	// parallel string matching algorithms the paper cites ([6] Breslauer &
+	// Galil, [20] Vishkin). See DESIGN.md substitutions.
+	PeriodModeled PeriodMode = iota
+	// PeriodDivisors runs a real step-by-step PRAM computation testing
+	// every divisor d | n for cyclic-shift invariance in parallel:
+	// O(1) rounds beyond a reduction and O(n·d(n)) work.
+	PeriodDivisors
+)
+
+// Options configures the parallel circular-string algorithms.
+type Options struct {
+	// Sort is the integer-sorting strategy (default intsort.Modeled).
+	Sort intsort.Strategy
+	// Pad is the odd-block padding convention (default PadMin, the paper's).
+	Pad Pad
+	// Period selects the period subroutine (default PeriodModeled).
+	Period PeriodMode
+}
+
+// PeriodPRAM returns the length of the smallest repeating prefix of the
+// circular string held in c (see SmallestRepeatingPrefix).
+func PeriodPRAM(m *pram.Machine, c *pram.Array, mode PeriodMode) int {
+	n := c.Len()
+	if n <= 1 {
+		return n
+	}
+	switch mode {
+	case PeriodModeled:
+		p := SmallestRepeatingPrefix(c.Ints())
+		m.ChargeModel(int64(bits.Len(uint(n))), int64(n))
+		return p
+	case PeriodDivisors:
+		// d | n is a period iff s[i] == s[(i+d) mod n] for all i. Check
+		// all divisors at once with common concurrent writes.
+		var divs []int
+		for d := 1; d*d <= n; d++ {
+			if n%d == 0 {
+				divs = append(divs, d)
+				if d != n/d {
+					divs = append(divs, n/d)
+				}
+			}
+		}
+		nd := len(divs)
+		divArr := m.NewArrayFromInts(divs)
+		viol := m.NewArray(nd)
+		pram.Fill(m, viol, 0)
+		m.ParDo(nd*n, func(ctx *pram.Ctx, p int) {
+			di, l := p/n, p%n
+			d := int(ctx.Read(divArr, di))
+			if ctx.Read(c, l) != ctx.Read(c, (l+d)%n) {
+				ctx.Write(viol, di, 1)
+			}
+		})
+		best := n
+		v := viol.Ints()
+		for i, d := range divs {
+			if v[i] == 0 && d < best {
+				best = d
+			}
+		}
+		return best
+	default:
+		panic("circ: unknown period mode")
+	}
+}
+
+// SimpleMSPPRAM implements Algorithm "simple m.s.p." (Section 3.1): a
+// knockout tournament over blocks of doubling size, where each round
+// compares the two surviving candidates of sibling blocks over a window of
+// the block size and applies the Lemma 3.3 tie-break (keep the earlier
+// candidate). O(log n) rounds, O(n log n) work on the Common CRCW PRAM;
+// the first mismatch of each duel is found in O(1) time with the segmented
+// Fich–Ragde–Wigderson scheme.
+//
+// The input must be nonrepeating (primitive); use MSPPRAM for general
+// strings.
+func SimpleMSPPRAM(m *pram.Machine, c *pram.Array) int {
+	n := c.Len()
+	if n == 0 {
+		return -1
+	}
+	if n == 1 {
+		return 0
+	}
+	bigN := 1
+	for bigN < n {
+		bigN <<= 1
+	}
+	cand := m.NewArray(bigN)
+	m.ParDo(bigN, func(ctx *pram.Ctx, p int) {
+		if p < n {
+			ctx.Write(cand, p, int64(p))
+		} else {
+			ctx.Write(cand, p, -1)
+		}
+	})
+	for size := 1; size < bigN; size <<= 1 {
+		nb := bigN / (2 * size)
+		window := 2 * size // paper: strings of length 2^i in blocks of 2^i
+
+		hasDuel := m.NewArray(nb)
+		newCand := m.NewArray(nb)
+		m.ParDo(nb, func(ctx *pram.Ctx, b int) {
+			p, q := ctx.Read(cand, 2*b), ctx.Read(cand, 2*b+1)
+			switch {
+			case p == -1:
+				ctx.Write(newCand, b, q)
+				ctx.Write(hasDuel, b, 0)
+			case q == -1:
+				ctx.Write(newCand, b, p)
+				ctx.Write(hasDuel, b, 0)
+			default:
+				ctx.Write(newCand, b, -2)
+				ctx.Write(hasDuel, b, 1)
+			}
+		})
+		duels := pram.CompactIndices(m, hasDuel)
+		nDuels := duels.Len()
+		if nDuels > 0 {
+			diff := m.NewArray(nDuels * window)
+			m.ParDo(nDuels*window, func(ctx *pram.Ctx, t int) {
+				pi, l := t/window, t%window
+				if l >= n {
+					ctx.Write(diff, t, 0)
+					return
+				}
+				b := int(ctx.Read(duels, pi))
+				p := int(ctx.Read(cand, 2*b))
+				q := int(ctx.Read(cand, 2*b+1))
+				if ctx.Read(c, (p+l)%n) != ctx.Read(c, (q+l)%n) {
+					ctx.Write(diff, t, 1)
+				} else {
+					ctx.Write(diff, t, 0)
+				}
+			})
+			firstDiff := pram.SegmentedFirstOne(m, diff, window)
+			m.ParDo(nDuels, func(ctx *pram.Ctx, pi int) {
+				b := int(ctx.Read(duels, pi))
+				p := int(ctx.Read(cand, 2*b))
+				q := int(ctx.Read(cand, 2*b+1))
+				fd := ctx.Read(firstDiff, pi)
+				winner := p // tie: Lemma 3.3 keeps the earlier candidate
+				if fd >= 0 {
+					l := int(fd)
+					if ctx.Read(c, (q+l)%n) < ctx.Read(c, (p+l)%n) {
+						winner = q
+					}
+				}
+				ctx.Write(newCand, b, int64(winner))
+			})
+		}
+		cand = newCand
+	}
+	return int(cand.At(0))
+}
+
+// reduceState carries one level of the efficient-m.s.p. recursion: the
+// current circular string, the map from its positions to starting positions
+// in the original string, and an upper bound on its symbol values.
+type reduceState struct {
+	cur    *pram.Array
+	origin *pram.Array
+	maxVal int64
+}
+
+// EfficientReduceStep performs one iteration of Steps 1–3 of Algorithm
+// "efficient m.s.p.": mark the first element of every maximal run of the
+// minimum symbol, group each block into ordered pairs (padding per opts),
+// sort the pairs, and replace them by their dense ranks (1-based). It
+// returns the derived circular string, the positions each derived element
+// starts at in cur, and whether the m.s.p. was already determined (one
+// candidate), in which case mspIndex is its index in cur.
+//
+// Exported so tests and the experiment harness can replay the paper's
+// worked Example 3.4 step by step.
+func EfficientReduceStep(m *pram.Machine, cur *pram.Array, opts Options) (derived, starts *pram.Array, done bool, mspIndex int) {
+	maxVal := pram.ReduceMax(m, cur)
+	origin := m.NewArray(cur.Len())
+	pram.Iota(m, origin, 0)
+	st := reduceState{cur: cur, origin: origin, maxVal: maxVal}
+	next, done, mspIndex := reduceOnce(m, st, opts)
+	if done {
+		return nil, nil, true, mspIndex
+	}
+	return next.cur, next.origin, false, -1
+}
+
+// reduceOnce runs one shrink iteration. When the m.s.p. is decided it
+// returns done=true with the index in the ORIGINAL string (via origin).
+func reduceOnce(m *pram.Machine, st reduceState, opts Options) (reduceState, bool, int) {
+	cur, origin := st.cur, st.origin
+	l := cur.Len()
+
+	mn := pram.ReduceMin(m, cur)
+	marked := m.NewArray(l)
+	m.ParDo(l, func(ctx *pram.Ctx, p int) {
+		prev := ctx.Read(cur, (p-1+l)%l)
+		if ctx.Read(cur, p) == mn && prev != mn {
+			ctx.Write(marked, p, 1)
+		} else {
+			ctx.Write(marked, p, 0)
+		}
+	})
+	t := pram.ReduceSum(m, marked)
+	if t == 0 {
+		// Constant string: every rotation equal; the earliest origin wins.
+		return st, true, int(pram.ReduceMin(m, origin))
+	}
+	if t == 1 {
+		idx := pram.FirstOne(m, marked)
+		return st, true, int(origin.At(idx))
+	}
+
+	// Rotate so position 0 is marked; all blocks are then contiguous.
+	r0 := pram.FirstOne(m, marked)
+	rot := m.NewArray(l)
+	rorigin := m.NewArray(l)
+	rmarked := m.NewArray(l)
+	m.ParDo(l, func(ctx *pram.Ctx, p int) {
+		src := (p + r0) % l
+		ctx.Write(rot, p, ctx.Read(cur, src))
+		ctx.Write(rorigin, p, ctx.Read(origin, src))
+		ctx.Write(rmarked, p, ctx.Read(marked, src))
+	})
+
+	// Block decomposition: start[p] = nearest marked position <= p.
+	markPos := m.NewArray(l)
+	m.ParDo(l, func(ctx *pram.Ctx, p int) {
+		if ctx.Read(rmarked, p) != 0 {
+			ctx.Write(markPos, p, int64(p))
+		} else {
+			ctx.Write(markPos, p, -1)
+		}
+	})
+	start := pram.InclusiveScanMax(m, markPos)
+
+	// Pair heads sit at even offsets within their block.
+	head := m.NewArray(l)
+	second := m.NewArray(l)
+	var padVal int64
+	if opts.Pad == PadMin {
+		padVal = mn
+	} else {
+		padVal = 0 // symbols are shifted to be >= 1 by callers
+	}
+	m.ParDo(l, func(ctx *pram.Ctx, p int) {
+		off := int64(p) - ctx.Read(start, p)
+		if off%2 != 0 {
+			ctx.Write(head, p, 0)
+			return
+		}
+		ctx.Write(head, p, 1)
+		if p+1 < l && ctx.Read(start, p+1) == ctx.Read(start, p) {
+			ctx.Write(second, p, ctx.Read(rot, p+1))
+		} else {
+			ctx.Write(second, p, padVal)
+		}
+	})
+	firsts := pram.Compact(m, rot, head)
+	seconds := pram.Compact(m, second, head)
+	norigin := pram.Compact(m, rorigin, head)
+
+	perm, packed := intsort.SortPairsPRAM(m, firsts, seconds, st.maxVal, opts.Sort)
+	ranks, distinct := intsort.RankDistinct(m, packed, perm, 1)
+
+	return reduceState{cur: ranks, origin: norigin, maxVal: distinct}, false, -1
+}
+
+// EfficientMSPPRAM implements Algorithm "efficient m.s.p." (Section 3.1):
+// repeatedly shrink the string to at most 2/3 of its length by pairing and
+// rank-renaming (Steps 1–4), then finish with the simple algorithm on the
+// remaining <= n / log n symbols (Step 5). O(log n) time and O(n log log n)
+// operations on the Arbitrary CRCW PRAM (Lemma 3.7).
+//
+// The input must be nonrepeating (primitive); use MSPPRAM for general
+// strings. Symbols must be non-negative.
+func EfficientMSPPRAM(m *pram.Machine, c *pram.Array, opts Options) int {
+	n := c.Len()
+	lg := bits.Len(uint(n))
+	cutoff := 4
+	if lg > 0 && n/lg > 4 {
+		cutoff = n / lg
+	}
+	return EfficientMSPPRAMWithCutoff(m, c, opts, cutoff)
+}
+
+// EfficientMSPPRAMWithCutoff is EfficientMSPPRAM with an explicit switch
+// point to the simple algorithm (Step 4's "until the length of the
+// resulting string is at most n/log n"). Exposed for ablation A3: cutoff=0
+// runs the pair-rank reduction to exhaustion, cutoff>=n skips it entirely
+// and runs only Algorithm simple m.s.p.
+func EfficientMSPPRAMWithCutoff(m *pram.Machine, c *pram.Array, opts Options, cutoff int) int {
+	n := c.Len()
+	if n == 0 {
+		return -1
+	}
+	if n == 1 {
+		return 0
+	}
+	if cutoff < 1 {
+		cutoff = 1
+	}
+
+	// Shift symbols by +1 so 0 is free for the blank pad.
+	cur := m.NewArray(n)
+	m.ParDo(n, func(ctx *pram.Ctx, p int) {
+		ctx.Write(cur, p, ctx.Read(c, p)+1)
+	})
+	origin := m.NewArray(n)
+	pram.Iota(m, origin, 0)
+	st := reduceState{cur: cur, origin: origin, maxVal: pram.ReduceMax(m, cur)}
+
+	for st.cur.Len() > cutoff {
+		next, done, idx := reduceOnce(m, st, opts)
+		if done {
+			return idx
+		}
+		st = next
+	}
+	idx := SimpleMSPPRAM(m, st.cur)
+	return int(st.origin.At(idx))
+}
+
+// MSPPRAM returns the minimal starting point of an arbitrary circular
+// string (repeating or not) with non-negative symbols: it first reduces the
+// string to its smallest repeating prefix (whose m.s.p. is also an m.s.p.
+// of the original, and the smallest-index one) and then runs the efficient
+// algorithm. This is the complete Lemma 3.7 pipeline.
+func MSPPRAM(m *pram.Machine, c *pram.Array, opts Options) int {
+	n := c.Len()
+	if n == 0 {
+		return -1
+	}
+	p := PeriodPRAM(m, c, opts.Period)
+	if p == n {
+		return EfficientMSPPRAM(m, c, opts)
+	}
+	prefix := m.NewArray(p)
+	m.ParDo(p, func(ctx *pram.Ctx, i int) {
+		ctx.Write(prefix, i, ctx.Read(c, i))
+	})
+	return EfficientMSPPRAM(m, prefix, opts)
+}

@@ -1,0 +1,291 @@
+package circ
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+func newMachine() *pram.Machine { return pram.New(pram.ArbitraryCRCW) }
+
+func TestPeriodPRAMBothModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(48)
+		s := make([]int, n)
+		for i := range s {
+			s[i] = rng.Intn(3)
+		}
+		want := SmallestRepeatingPrefix(s)
+		for _, mode := range []PeriodMode{PeriodModeled, PeriodDivisors} {
+			m := newMachine()
+			c := m.NewArrayFromInts(s)
+			if got := PeriodPRAM(m, c, mode); got != want {
+				t.Fatalf("PeriodPRAM(%v, mode=%d) = %d, want %d", s, mode, got, want)
+			}
+		}
+	}
+}
+
+func TestPeriodPRAMTrivial(t *testing.T) {
+	m := newMachine()
+	if got := PeriodPRAM(m, m.NewArray(0), PeriodDivisors); got != 0 {
+		t.Fatalf("period of empty = %d", got)
+	}
+	if got := PeriodPRAM(m, m.NewArrayFromInts([]int{9}), PeriodDivisors); got != 1 {
+		t.Fatalf("period of singleton = %d", got)
+	}
+}
+
+// primitiveRandom returns a random nonrepeating circular string.
+func primitiveRandom(rng *rand.Rand, n, sigma int) []int {
+	for {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = rng.Intn(sigma)
+		}
+		if SmallestRepeatingPrefix(s) == n {
+			return s
+		}
+	}
+}
+
+func TestSimpleMSPPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(40)
+		s := primitiveRandom(rng, n, 2+rng.Intn(3))
+		m := newMachine()
+		c := m.NewArrayFromInts(s)
+		if got, want := SimpleMSPPRAM(m, c), BruteMSP(s); got != want {
+			t.Fatalf("SimpleMSPPRAM(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestSimpleMSPPRAMEdges(t *testing.T) {
+	m := newMachine()
+	if got := SimpleMSPPRAM(m, m.NewArray(0)); got != -1 {
+		t.Fatalf("empty = %d", got)
+	}
+	if got := SimpleMSPPRAM(m, m.NewArrayFromInts([]int{3})); got != 0 {
+		t.Fatalf("singleton = %d", got)
+	}
+	if got := SimpleMSPPRAM(m, m.NewArrayFromInts([]int{2, 1})); got != 1 {
+		t.Fatalf("pair = %d", got)
+	}
+}
+
+func TestSimpleMSPPRAMNonPowerOfTwo(t *testing.T) {
+	// Lengths straddling powers of two.
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3, 5, 7, 9, 15, 17, 31, 33, 63, 65, 100} {
+		for trial := 0; trial < 5; trial++ {
+			s := primitiveRandom(rng, n, 3)
+			m := newMachine()
+			c := m.NewArrayFromInts(s)
+			if got, want := SimpleMSPPRAM(m, c), BruteMSP(s); got != want {
+				t.Fatalf("n=%d: SimpleMSPPRAM(%v) = %d, want %d", n, s, got, want)
+			}
+		}
+	}
+}
+
+func allOpts() []Options {
+	var out []Options
+	for _, pad := range []Pad{PadMin, PadBlank} {
+		for _, strat := range []intsort.Strategy{intsort.Modeled, intsort.BitSplit} {
+			out = append(out, Options{Sort: strat, Pad: pad})
+		}
+	}
+	return out
+}
+
+func TestEfficientMSPPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, opts := range allOpts() {
+		for trial := 0; trial < 120; trial++ {
+			n := 2 + rng.Intn(60)
+			s := primitiveRandom(rng, n, 2+rng.Intn(4))
+			m := newMachine()
+			c := m.NewArrayFromInts(s)
+			if got, want := EfficientMSPPRAM(m, c, opts), BruteMSP(s); got != want {
+				t.Fatalf("opts=%+v: EfficientMSPPRAM(%v) = %d, want %d", opts, s, got, want)
+			}
+		}
+	}
+}
+
+func TestEfficientMSPPRAMLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{128, 257, 512, 1000, 2048} {
+		s := primitiveRandom(rng, n, 3)
+		want := BoothMSP(s)
+		for _, pad := range []Pad{PadMin, PadBlank} {
+			m := newMachine()
+			c := m.NewArrayFromInts(s)
+			if got := EfficientMSPPRAM(m, c, Options{Pad: pad}); got != want {
+				t.Fatalf("n=%d pad=%d: got %d, want %d", n, pad, got, want)
+			}
+		}
+	}
+}
+
+func TestEfficientMSPPRAMAdversarial(t *testing.T) {
+	// Strings with long runs of the minimum and heavy repetition pressure.
+	cases := [][]int{
+		{1, 1, 2, 1, 1, 1, 2, 2},             // runs of min
+		{2, 1, 1, 1, 1, 1, 1, 1, 1, 3},       // almost-constant
+		{1, 2, 1, 2, 1, 2, 1, 2, 1, 3},       // near-periodic
+		{5, 4, 3, 2, 1, 2, 3, 4, 5, 6},       // valley
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 0},       // all distinct
+		{0, 1, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0}, // binary with min runs
+	}
+	for _, s := range cases {
+		if SmallestRepeatingPrefix(s) != len(s) {
+			t.Fatalf("test case %v is repeating; fix the case", s)
+		}
+		want := BruteMSP(s)
+		for _, opts := range allOpts() {
+			m := newMachine()
+			c := m.NewArrayFromInts(s)
+			if got := EfficientMSPPRAM(m, c, opts); got != want {
+				t.Fatalf("opts=%+v s=%v: got %d, want %d", opts, s, got, want)
+			}
+		}
+	}
+}
+
+func TestMSPPRAMHandlesRepeating(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 150; trial++ {
+		// Build a repeating string: random primitive prefix repeated.
+		p := 1 + rng.Intn(8)
+		reps := 1 + rng.Intn(4)
+		prefix := primitiveRandom(rng, p, 3)
+		var s []int
+		for r := 0; r < reps; r++ {
+			s = append(s, prefix...)
+		}
+		want := BruteMSP(s)
+		m := newMachine()
+		c := m.NewArrayFromInts(s)
+		if got := MSPPRAM(m, c, Options{}); got != want {
+			t.Fatalf("MSPPRAM(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestMSPPRAMProperty(t *testing.T) {
+	f := func(raw []uint8, padPick bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]int, len(raw))
+		for i, v := range raw {
+			s[i] = int(v % 4)
+		}
+		pad := PadMin
+		if padPick {
+			pad = PadBlank
+		}
+		m := newMachine()
+		c := m.NewArrayFromInts(s)
+		return MSPPRAM(m, c, Options{Pad: pad}) == BruteMSP(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficientReduceStepPaperExample34(t *testing.T) {
+	// Example 3.4: one reduction of (3,2,1,3,2,3,4,3,1,2,3,4,2,1,1,1,3,2,2)
+	// yields the circular string (7,3,6,9,2,8,4,1,3,5). Our implementation
+	// rotates so the first marked position (original index 2) comes first,
+	// so we expect the rotation (3,6,9,2,8,4,1,3,5,7) with matching starts.
+	s := []int{3, 2, 1, 3, 2, 3, 4, 3, 1, 2, 3, 4, 2, 1, 1, 1, 3, 2, 2}
+	m := newMachine()
+	// Shift +1 as EfficientMSPPRAM does internally (blank pad headroom).
+	shifted := make([]int, len(s))
+	for i, v := range s {
+		shifted[i] = v + 1
+	}
+	c := m.NewArrayFromInts(shifted)
+	derived, starts, done, _ := EfficientReduceStep(m, c, Options{Pad: PadBlank})
+	if done {
+		t.Fatal("reduction decided m.s.p. prematurely")
+	}
+	wantDerived := []int{3, 6, 9, 2, 8, 4, 1, 3, 5, 7}
+	wantStarts := []int{2, 4, 6, 8, 10, 12, 13, 15, 17, 0}
+	if derived.Len() != len(wantDerived) {
+		t.Fatalf("derived length = %d, want %d", derived.Len(), len(wantDerived))
+	}
+	gd, gs := derived.Ints(), starts.Ints()
+	for i := range wantDerived {
+		if gd[i] != wantDerived[i] {
+			t.Fatalf("derived = %v, want %v (paper Example 3.4 rotated)", gd, wantDerived)
+		}
+		if gs[i] != wantStarts[i] {
+			t.Fatalf("starts = %v, want %v", gs, wantStarts)
+		}
+	}
+}
+
+func TestEfficientShrinksByTwoThirds(t *testing.T) {
+	// Lemma 3.6: derived length <= 2n/3.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(200)
+		s := primitiveRandom(rng, n, 3)
+		m := newMachine()
+		c := m.NewArrayFromInts(s)
+		derived, _, done, _ := EfficientReduceStep(m, c, Options{})
+		if done {
+			continue
+		}
+		if got, limit := derived.Len(), 2*n/3+1; got > limit {
+			t.Fatalf("n=%d: derived length %d > 2n/3 = %d (s=%v)", n, got, limit, s)
+		}
+	}
+}
+
+func TestEfficientMSPWorkGrowsSlowerThanSimple(t *testing.T) {
+	// Lemma 3.7 vs the simple algorithm: simple does Theta(n log n) work
+	// while efficient does Theta(n log log n), so growing n by 8x must
+	// inflate simple's work by a visibly larger factor (~8 * 15/12) than
+	// efficient's (~8). Absolute crossover depends on constants and is
+	// explored by experiment E3.
+	rng := rand.New(rand.NewSource(10))
+	measure := func(n int) (workSimple, workEff int64) {
+		s := primitiveRandom(rng, n, 4)
+		want := BoothMSP(s)
+
+		mS := newMachine()
+		cS := mS.NewArrayFromInts(s)
+		mS.ResetStats()
+		if got := SimpleMSPPRAM(mS, cS); got != want {
+			t.Fatalf("n=%d: simple msp = %d, want %d", n, got, want)
+		}
+		workSimple = mS.Stats().Work
+
+		mE := newMachine()
+		cE := mE.NewArrayFromInts(s)
+		mE.ResetStats()
+		if got := EfficientMSPPRAM(mE, cE, Options{}); got != want {
+			t.Fatalf("n=%d: efficient msp = %d, want %d", n, got, want)
+		}
+		workEff = mE.Stats().Work
+		return workSimple, workEff
+	}
+	s12, e12 := measure(1 << 12)
+	s15, e15 := measure(1 << 15)
+	ratioSimple := float64(s15) / float64(s12)
+	ratioEff := float64(e15) / float64(e12)
+	if ratioSimple <= ratioEff {
+		t.Errorf("simple work growth %.2f should exceed efficient growth %.2f over 8x input",
+			ratioSimple, ratioEff)
+	}
+}

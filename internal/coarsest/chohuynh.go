@@ -1,0 +1,74 @@
+package coarsest
+
+import (
+	"math/bits"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+// ChoHuynhPRAM is the remaining prior-art baseline from the paper's
+// introduction: Cho & Huynh (Inform. Process. Lett. 42, 1992) solve the
+// problem in O(log n) time with O(n^2) operations on the CREW PRAM (O(n^3)
+// on the EREW). The idea is brute-force pairwise testing: by Lemma 2.1(ii),
+// x ≡ y iff B[f^i(x)] = B[f^i(y)] for i = 0..n, which each of the n^2
+// pairs checks directly. We build the iterate labels by pointer doubling
+// (keeping a fingerprint of the B-trace instead of the n x n iterate table)
+// and then compare all pairs; the quadratic memory/work makes it usable
+// only for modest n, which is exactly the paper's point.
+//
+// Implementation note: comparing the full traces pairwise in O(1) time per
+// pair uses the doubled trace codes; codes are built with the
+// concurrent-write dictionary so the machine model is Arbitrary CRCW here
+// (the original achieves CREW with more machinery). Work remains Theta(n^2)
+// from the pairwise phase, which dominates and is what E7 measures.
+func ChoHuynhPRAM(ins Instance, opts ParallelOptions) ParallelResult {
+	n := len(ins.F)
+	if n == 0 {
+		return ParallelResult{Labels: []int{}}
+	}
+	var machineOpts []pram.Option
+	if opts.Workers > 0 {
+		machineOpts = append(machineOpts, pram.WithWorkers(opts.Workers))
+	}
+	if opts.Seed != 0 {
+		machineOpts = append(machineOpts, pram.WithSeed(opts.Seed))
+	}
+	m := pram.New(opts.Model, machineOpts...)
+
+	fArr := m.NewArrayFromInts(ins.F)
+	trace := m.NewArrayFromInts(NormalizeLabels(ins.B))
+	m.ResetStats()
+
+	// Doubling: trace[x] encodes (B[x], B[f(x)], ..., B[f^(2^t-1)(x)]).
+	jump := m.NewArray(n)
+	pram.Copy(m, jump, fArr)
+	for t := 0; t <= bits.Len(uint(n)); t++ {
+		at := m.NewArray(n)
+		pram.Gather(m, at, trace, jump)
+		trace = pram.PairCode(m, trace, at)
+		next := m.NewArray(n)
+		m.ParDo(n, func(c *pram.Ctx, p int) {
+			c.Write(next, p, c.Read(jump, int(c.Read(jump, p))))
+		})
+		jump = next
+	}
+
+	// Pairwise phase: the Cho–Huynh Theta(n^2) comparison matrix; each
+	// row's first equal column is its representative.
+	eq := m.NewArray(n * n)
+	m.ParDo(n*n, func(c *pram.Ctx, p int) {
+		i, j := p/n, p%n
+		if c.Read(trace, i) == c.Read(trace, j) {
+			c.Write(eq, p, 1)
+		} else {
+			c.Write(eq, p, 0)
+		}
+	})
+	rep := pram.SegmentedFirstOne(m, eq, n)
+	perm := intsort.SortPRAM(m, rep, int64(n), opts.Sort)
+	ranks, distinct := intsort.RankDistinct(m, rep, perm, 0)
+
+	out := NormalizeLabels(ranks.Ints())
+	return ParallelResult{Labels: out, NumClasses: int(distinct), Stats: m.Stats()}
+}

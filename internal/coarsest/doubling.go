@@ -1,0 +1,85 @@
+package coarsest
+
+import (
+	"math/bits"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+// The pre-JáJá–Ryu parallel baselines. Both compute Q by label doubling
+// (Lemma 2.1(ii)): after t rounds each node's label encodes the B-labels of
+// f^0(x)..f^(2^t - 1)(x); ceil(log2(n+1)) rounds therefore decide Q. They
+// differ in how fresh labels are assigned each round, which is exactly
+// where the earlier algorithms paid their extra work:
+//
+//   - DoublingHashPRAM renames with the concurrent-write dictionary:
+//     O(log n) time and O(n log n) operations on the Arbitrary CRCW PRAM —
+//     the cost profile of Galley & Iliopoulos [10].
+//   - DoublingSortPRAM renames by sorting the label pairs with the
+//     bit-split radix sort: O(log^2 n) time and O(n log^2 n) operations —
+//     the cost profile of Srikant [18] (whose algorithm is CREW; sorting
+//     is the dominant term).
+
+// DoublingHashPRAM solves the coarsest partition problem by label doubling
+// with dictionary renaming (Galley–Iliopoulos-shape baseline).
+func DoublingHashPRAM(ins Instance, opts ParallelOptions) ParallelResult {
+	return doubling(ins, opts, true)
+}
+
+// DoublingSortPRAM solves the coarsest partition problem by label doubling
+// with sort-based renaming (Srikant-shape baseline).
+func DoublingSortPRAM(ins Instance, opts ParallelOptions) ParallelResult {
+	return doubling(ins, opts, false)
+}
+
+func doubling(ins Instance, opts ParallelOptions, useHash bool) ParallelResult {
+	n := len(ins.F)
+	if n == 0 {
+		return ParallelResult{Labels: []int{}}
+	}
+	var machineOpts []pram.Option
+	if opts.Workers > 0 {
+		machineOpts = append(machineOpts, pram.WithWorkers(opts.Workers))
+	}
+	if opts.Seed != 0 {
+		machineOpts = append(machineOpts, pram.WithSeed(opts.Seed))
+	}
+	m := pram.New(opts.Model, machineOpts...)
+
+	fArr := m.NewArrayFromInts(ins.F)
+	labels := m.NewArrayFromInts(NormalizeLabels(ins.B))
+	m.ResetStats()
+
+	jump := m.NewArray(n)
+	pram.Copy(m, jump, fArr)
+	rounds := bits.Len(uint(n)) + 1
+	maxLabel := pram.ReduceMax(m, labels)
+	for t := 0; t < rounds; t++ {
+		labelAtJump := m.NewArray(n)
+		pram.Gather(m, labelAtJump, labels, jump)
+		if useHash {
+			codes := pram.PairCode(m, labels, labelAtJump)
+			labels = codes
+			maxLabel = pram.TableSize(n)
+		} else {
+			perm, packed := intsort.SortPairsPRAM(m, labels, labelAtJump, maxLabel, intsort.BitSplit)
+			ranks, distinct := intsort.RankDistinct(m, packed, perm, 0)
+			labels = ranks
+			maxLabel = distinct
+		}
+		next := m.NewArray(n)
+		m.ParDo(n, func(c *pram.Ctx, p int) {
+			c.Write(next, p, c.Read(jump, int(c.Read(jump, p))))
+		})
+		jump = next
+	}
+	if useHash {
+		// Dictionary codes are sparse; rename densely once at the end.
+		perm := intsort.SortPRAM(m, labels, maxLabel+1, opts.Sort)
+		ranks, _ := intsort.RankDistinct(m, labels, perm, 0)
+		labels = ranks
+	}
+	out := NormalizeLabels(labels.Ints())
+	return ParallelResult{Labels: out, NumClasses: NumClasses(out), Stats: m.Stats()}
+}

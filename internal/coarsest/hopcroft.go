@@ -1,0 +1,100 @@
+package coarsest
+
+// Hopcroft solves the coarsest partition problem in O(n log n) time by
+// partition refinement with the "process the smaller half" rule — the
+// classic algorithm of Aho, Hopcroft & Ullman (reference [1] of the paper)
+// specialized to a single function.
+func Hopcroft(ins Instance) []int {
+	n := len(ins.F)
+	if n == 0 {
+		return []int{}
+	}
+
+	// Preimage lists of f in CSR form.
+	preCount := make([]int, n+1)
+	for _, y := range ins.F {
+		preCount[y+1]++
+	}
+	for i := 1; i <= n; i++ {
+		preCount[i] += preCount[i-1]
+	}
+	preList := make([]int, n)
+	fill := make([]int, n)
+	copy(fill, preCount[:n])
+	for x, y := range ins.F {
+		preList[fill[y]] = x
+		fill[y]++
+	}
+
+	// Block structure: members grouped per block with O(1) moves.
+	blockOf := make([]int, n)
+	init := NormalizeLabels(ins.B)
+	numBlocks := NumClasses(init)
+	members := make([][]int, numBlocks, 2*n)
+	posIn := make([]int, n)
+	for x := 0; x < n; x++ {
+		b := init[x]
+		blockOf[x] = b
+		posIn[x] = len(members[b])
+		members[b] = append(members[b], x)
+	}
+
+	// Worklist of splitter blocks.
+	inWork := make([]bool, numBlocks, 2*n)
+	work := make([]int, 0, 2*n)
+	for b := 0; b < numBlocks; b++ {
+		work = append(work, b)
+		inWork[b] = true
+	}
+
+	touched := make(map[int][]int) // block -> states of the preimage in it
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[s] = false
+
+		// Preimage of the splitter, grouped by current block.
+		clear(touched)
+		for _, y := range members[s] {
+			for i := preCount[y]; i < preCount[y+1]; i++ {
+				x := preList[i]
+				b := blockOf[x]
+				touched[b] = append(touched[b], x)
+			}
+		}
+		for b, hit := range touched {
+			if len(hit) == len(members[b]) {
+				continue // no split
+			}
+			// Move hit states into a new block.
+			nb := len(members)
+			members = append(members, nil)
+			inWork = append(inWork, false)
+			for _, x := range hit {
+				// Remove x from b by swapping with the last member.
+				last := members[b][len(members[b])-1]
+				pi := posIn[x]
+				members[b][pi] = last
+				posIn[last] = pi
+				members[b] = members[b][:len(members[b])-1]
+				// Append to nb.
+				posIn[x] = len(members[nb])
+				members[nb] = append(members[nb], x)
+				blockOf[x] = nb
+			}
+			// Schedule: if b is pending both halves must be processed;
+			// otherwise the smaller half suffices.
+			if inWork[b] {
+				work = append(work, nb)
+				inWork[nb] = true
+			} else if len(members[nb]) <= len(members[b]) {
+				work = append(work, nb)
+				inWork[nb] = true
+			} else {
+				work = append(work, b)
+				inWork[b] = true
+			}
+		}
+	}
+	return NormalizeLabels(blockOf)
+}

@@ -1,0 +1,240 @@
+package coarsest
+
+import (
+	"sfcp/internal/circ"
+)
+
+// LinearSequential solves the coarsest partition problem in O(n) expected
+// time with the cycle/tree decomposition of the paper run sequentially —
+// the structure of Paige, Tarjan & Bonic's linear-time solution (reference
+// [16]):
+//
+//  1. find the cycles of the pseudo-forest,
+//  2. reduce each cycle's B-label string to its smallest repeating prefix,
+//     rotate to the minimal starting point (Booth), and group equal
+//     canonical strings: nodes at equal offsets of equivalent cycles share
+//     a Q-label (Section 3 of the paper),
+//  3. mark tree nodes whose root-path B-labels match the cycle (Lemma 4.1)
+//     level by level, giving them the cycle labels,
+//  4. label the remaining forest top-down by (B-label, parent Q-label)
+//     pair codes (Lemma 4.2).
+func LinearSequential(ins Instance) []int {
+	n := len(ins.F)
+	if n == 0 {
+		return []int{}
+	}
+	f, b := ins.F, ins.B
+
+	// Step 1: cycle detection with visit stamps.
+	state := make([]int8, n) // 0 unvisited, 1 in progress, 2 done
+	onCycle := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		var path []int
+		x := s
+		for state[x] == 0 {
+			state[x] = 1
+			path = append(path, x)
+			x = f[x]
+		}
+		if state[x] == 1 {
+			for i := len(path) - 1; i >= 0; i-- {
+				onCycle[path[i]] = true
+				if path[i] == x {
+					break
+				}
+			}
+		}
+		for _, y := range path {
+			state[y] = 2
+		}
+	}
+
+	// Step 2: canonical form per cycle; Q-keys for cycle nodes.
+	// labels[x] holds a provisional dense Q-code.
+	const unset = -1
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unset
+	}
+	type cycleKey struct {
+		class, offset int
+	}
+	classOfCanon := map[string]int{}
+	cycleCodes := map[cycleKey]int{}
+	nextCode := 0
+	newCode := func() int { nextCode++; return nextCode - 1 }
+
+	cycleSeen := make([]bool, n)
+	// cycleInfo per node for the tree phase.
+	cycleOf := make([]int, n)  // leader node of x's cycle (cycle nodes only)
+	rankOf := make([]int, n)   // rank of x within its cycle from the leader
+	cycleLen := make([]int, n) // full cycle length
+	cycleCls := make([]int, n) // canonical class of the cycle (by leader)
+	cycleOff := make([]int, n) // canonical offset shift: Q-offset(x) = (rankOf[x]-msp) mod period
+	cyclePer := make([]int, n) // period of the cycle's B-string
+	cycNodes := map[int][]int{}
+
+	for s := 0; s < n; s++ {
+		if !onCycle[s] || cycleSeen[s] {
+			continue
+		}
+		var cyc []int
+		x := s
+		for !cycleSeen[x] {
+			cycleSeen[x] = true
+			cyc = append(cyc, x)
+			x = f[x]
+		}
+		cycNodes[s] = cyc
+		bs := make([]int, len(cyc))
+		for i, y := range cyc {
+			bs[i] = b[y]
+		}
+		p := circ.SmallestRepeatingPrefix(bs)
+		prefix := bs[:p]
+		msp := circ.BoothMSP(prefix)
+		canon := make([]int, p)
+		for i := 0; i < p; i++ {
+			canon[i] = prefix[(msp+i)%p]
+		}
+		key := intsKey(canon)
+		cls, ok := classOfCanon[key]
+		if !ok {
+			cls = len(classOfCanon)
+			classOfCanon[key] = cls
+		}
+		for i, y := range cyc {
+			cycleOf[y] = s
+			rankOf[y] = i
+			cycleLen[y] = len(cyc)
+			cycleCls[y] = cls
+			cyclePer[y] = p
+			cycleOff[y] = msp
+			off := ((i-msp)%p + p) % p
+			ck := cycleKey{cls, off}
+			code, ok := cycleCodes[ck]
+			if !ok {
+				code = newCode()
+				cycleCodes[ck] = code
+			}
+			labels[y] = code
+		}
+	}
+
+	// Order tree nodes by level (counting sort on level). Levels are
+	// computed iteratively (deep paths would overflow a recursion stack):
+	// walk up to the first resolved ancestor, then unwind.
+	level := make([]int, n)
+	root := make([]int, n)
+	maxLevel := 0
+	var stack []int
+	for s := 0; s < n; s++ {
+		x := s
+		stack = stack[:0]
+		for !onCycle[x] && level[x] == 0 {
+			stack = append(stack, x)
+			x = f[x]
+		}
+		base, r := level[x], x
+		if onCycle[x] {
+			base, r = 0, x
+		} else {
+			r = root[x]
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			base++
+			level[stack[i]] = base
+			root[stack[i]] = r
+			if base > maxLevel {
+				maxLevel = base
+			}
+		}
+		if onCycle[s] {
+			root[s] = s
+		}
+	}
+	byLevel := make([][]int, maxLevel+1)
+	for x := 0; x < n; x++ {
+		if !onCycle[x] {
+			byLevel[level[x]] = append(byLevel[level[x]], x)
+		}
+	}
+
+	// Step 3: mark tree nodes matching their cycle counterpart (Lemma 4.1)
+	// top-down, so a node is marked only if its whole root path matches.
+	marked := make([]bool, n)
+	for x := 0; x < n; x++ {
+		marked[x] = onCycle[x]
+	}
+	for l := 1; l <= maxLevel; l++ {
+		for _, x := range byLevel[l] {
+			if !marked[f[x]] {
+				continue
+			}
+			r := root[x]
+			k := cycleLen[r]
+			// Corresponding cycle node: rank (rank(r) - level) mod k.
+			cr := ((rankOf[r]-l)%k + k) % k
+			// Find its Q-code via the canonical key.
+			p := cyclePer[r]
+			off := ((cr-cycleOff[r])%p + p) % p
+			corresp := cycleCodes[cycleKey{cycleCls[r], off}]
+			// Compare B-labels: x must match the corresponding node,
+			// looked up directly on the cycle (rank cr from the leader).
+			if b[x] == b[cycNodes[cycleOf[r]][cr]] {
+				marked[x] = true
+				labels[x] = corresp
+			}
+		}
+	}
+
+	// Step 4: unmarked nodes top-down with (B, parent-code) pairs
+	// (Lemma 4.2). Anchor codes of labeled parents are tagged so they
+	// cannot collide with inner pair codes.
+	type pairKey struct{ a, b int }
+	pairCodes := map[pairKey]int{}
+	anchorCodes := map[int]int{}
+	for l := 1; l <= maxLevel; l++ {
+		for _, x := range byLevel[l] {
+			if marked[x] {
+				continue
+			}
+			var parentCode int
+			if marked[f[x]] {
+				code, ok := anchorCodes[labels[f[x]]]
+				if !ok {
+					code = newCode()
+					anchorCodes[labels[f[x]]] = code
+				}
+				parentCode = code
+			} else {
+				parentCode = labels[f[x]]
+			}
+			pk := pairKey{b[x], parentCode}
+			code, ok := pairCodes[pk]
+			if !ok {
+				code = newCode()
+				pairCodes[pk] = code
+			}
+			labels[x] = code
+		}
+	}
+
+	return NormalizeLabels(labels)
+}
+
+// intsKey builds a map key from an int slice.
+func intsKey(s []int) string {
+	buf := make([]byte, 0, len(s)*5)
+	for _, v := range s {
+		for v >= 0x80 {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 7
+		}
+		buf = append(buf, byte(v), 0xff)
+	}
+	return string(buf)
+}

@@ -1,0 +1,33 @@
+package coarsest
+
+// Moore solves the coarsest partition problem by naive iterative
+// refinement: repeatedly replace every label by the pair
+// (label(x), label(f(x))) until the number of classes stops growing
+// (Lemma 2.1(i) iterated to a fixpoint). Worst case O(n^2), the reference
+// oracle for all other solvers.
+func Moore(ins Instance) []int {
+	n := len(ins.F)
+	if n == 0 {
+		return []int{}
+	}
+	labels := NormalizeLabels(ins.B)
+	count := NumClasses(labels)
+	for {
+		codes := make(map[[2]int]int, count*2)
+		next := make([]int, n)
+		for x := 0; x < n; x++ {
+			key := [2]int{labels[x], labels[ins.F[x]]}
+			id, ok := codes[key]
+			if !ok {
+				id = len(codes)
+				codes[key] = id
+			}
+			next[x] = id
+		}
+		labels = next
+		if len(codes) == count {
+			return NormalizeLabels(labels)
+		}
+		count = len(codes)
+	}
+}

@@ -1,0 +1,288 @@
+package coarsest
+
+import (
+	"math/bits"
+
+	"sync/atomic"
+
+	"sfcp/internal/circ"
+	"sfcp/internal/par"
+)
+
+// NativeParallel solves the coarsest partition problem with plain
+// goroutines on real cores — the engineering counterpart of ParallelPRAM
+// used for wall-clock measurements (experiment E8). Structure discovery
+// uses parallel pointer doubling (O(n log n) work, but wide vectorizable
+// passes), cycle canonization runs one goroutine pool over the cycles, and
+// the forest is labeled by parallel code doubling through a sharded
+// concurrent dictionary. Output equals the other solvers'.
+func NativeParallel(ins Instance, workers int) []int {
+	n := len(ins.F)
+	if n == 0 {
+		return []int{}
+	}
+	workers = par.Workers(workers)
+	f, b := ins.F, ins.B
+
+	// Phase 1: cycle nodes = the image of f^N for any N >= n, found by
+	// parallel pointer doubling.
+	g := make([]int32, n)
+	tmp := make([]int32, n)
+	par.For(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g[i] = int32(f[i])
+		}
+	})
+	for span := 1; span < n; span <<= 1 {
+		par.For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				tmp[i] = g[g[i]]
+			}
+		})
+		g, tmp = tmp, g
+	}
+	onCycle := make([]int32, n)
+	par.For(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreInt32(&onCycle[g[i]], 1)
+		}
+	})
+
+	// Phase 2: tree roots and levels by doubling with distance carrying.
+	jump := make([]int32, n)
+	dist := make([]int32, n)
+	jtmp := make([]int32, n)
+	dtmp := make([]int32, n)
+	par.For(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if onCycle[i] != 0 {
+				jump[i] = int32(i)
+				dist[i] = 0
+			} else {
+				jump[i] = int32(f[i])
+				dist[i] = 1
+			}
+		}
+	})
+	for span := 1; span < n; span <<= 1 {
+		par.For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := jump[i]
+				jtmp[i] = jump[j]
+				dtmp[i] = dist[i] + dist[j]
+			}
+		})
+		jump, jtmp = jtmp, jump
+		dist, dtmp = dtmp, dist
+	}
+	root, level := jump, dist // root[x] = cycle entry; level[x] = distance
+
+	// Phase 3: enumerate cycles (cheap sequential pass over cycle nodes),
+	// then canonize every cycle in parallel.
+	var cycles [][]int
+	rankOf := make([]int32, n)
+	cycleID := make([]int32, n)
+	seen := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if onCycle[s] == 0 || seen[s] {
+			continue
+		}
+		id := int32(len(cycles))
+		var cyc []int
+		x := s
+		for !seen[x] {
+			seen[x] = true
+			rankOf[x] = int32(len(cyc))
+			cycleID[x] = id
+			cyc = append(cyc, x)
+			x = f[x]
+		}
+		cycles = append(cycles, cyc)
+	}
+	k := len(cycles)
+
+	type cycMeta struct {
+		period int
+		msp    int
+		class  int32
+	}
+	meta := make([]cycMeta, k)
+	canonKeys := make([]string, k)
+	par.For(workers, k, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			cyc := cycles[ci]
+			bs := make([]int, len(cyc))
+			for i, y := range cyc {
+				bs[i] = b[y]
+			}
+			p := circ.SmallestRepeatingPrefix(bs)
+			msp := circ.BoothMSP(bs[:p])
+			canon := make([]int, p)
+			for i := 0; i < p; i++ {
+				canon[i] = bs[(msp+i)%p]
+			}
+			meta[ci] = cycMeta{period: p, msp: msp}
+			canonKeys[ci] = intsKey(canon)
+		}
+	})
+	classOf := map[string]int32{}
+	for ci := 0; ci < k; ci++ {
+		cls, ok := classOf[canonKeys[ci]]
+		if !ok {
+			cls = int32(len(classOf))
+			classOf[canonKeys[ci]] = cls
+		}
+		meta[ci].class = cls
+	}
+
+	// Provisional codes, all drawn from one shared dictionary. The
+	// dictionary's codes are globally injective per key, so composite keys
+	// built from codes are semantically sound; raw leaf atoms (classes,
+	// offsets, B-labels) enter through a unique NEGATIVE role tag each, so
+	// they can never collide with internal code-pair keys (codes are
+	// non-negative).
+	dict := par.NewDict(2 * n)
+	const (
+		tagClass  = -1
+		tagOffset = -2
+		tagB      = -3
+		tagAnchor = -4
+		tagFinalQ = -5
+		tagFinalU = -6
+	)
+	code := make([]int64, n)
+	par.For(workers, n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			if onCycle[x] == 0 {
+				continue
+			}
+			m := meta[cycleID[x]]
+			off := (int(rankOf[x]) - m.msp) % m.period
+			if off < 0 {
+				off += m.period
+			}
+			code[x] = dict.Code(dict.Code(int64(m.class), tagClass), dict.Code(int64(off), tagOffset))
+		}
+	})
+
+	// Phase 4: Lemma 4.1 marking. matches[x] for tree nodes; then OR of
+	// mismatches along the tree path by doubling.
+	bad := make([]int32, n)
+	correspQ := make([]int64, n)
+	par.For(workers, n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			if onCycle[x] != 0 {
+				correspQ[x] = code[x]
+				continue
+			}
+			r := int(root[x])
+			cyc := cycles[cycleID[r]]
+			kLen := len(cyc)
+			cr := (int(rankOf[r]) - int(level[x])) % kLen
+			if cr < 0 {
+				cr += kLen
+			}
+			node := cyc[cr]
+			correspQ[x] = code[node]
+			if b[x] != b[node] {
+				bad[x] = 1
+			}
+		}
+	})
+	// OR-doubling along tree parents (cycle nodes are fixpoints, bad=0).
+	jb := make([]int32, n)
+	jbTmp := make([]int32, n)
+	badTmp := make([]int32, n)
+	par.For(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if onCycle[i] != 0 {
+				jb[i] = int32(i)
+			} else {
+				jb[i] = int32(f[i])
+			}
+		}
+	})
+	maxLevel := int32(0)
+	for i := 0; i < n; i++ {
+		if level[i] > maxLevel {
+			maxLevel = level[i]
+		}
+	}
+	for span := 1; span <= int(maxLevel); span <<= 1 {
+		par.For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := jb[i]
+				badTmp[i] = bad[i] | bad[j]
+				jbTmp[i] = jb[j]
+			}
+		})
+		bad, badTmp = badTmp, bad
+		jb, jbTmp = jbTmp, jb
+	}
+	labeled := make([]bool, n)
+	par.For(workers, n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			labeled[x] = onCycle[x] != 0 || bad[x] == 0
+		}
+	})
+
+	// Phase 5: Lemma 4.2 coding for unmarked nodes by code doubling.
+	pcode := make([]int64, n)
+	pj := make([]int32, n)
+	pcTmp := make([]int64, n)
+	pjTmp := make([]int32, n)
+	par.For(workers, n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			if labeled[x] {
+				pcode[x] = dict.Code(correspQ[x], tagAnchor)
+				pj[x] = int32(x)
+			} else {
+				pcode[x] = dict.Code(int64(b[x]), tagB)
+				pj[x] = int32(f[x])
+			}
+			// Note: Code(v, negativeTag) keys cannot collide with the
+			// iteration keys Code(code, code) below because dictionary
+			// codes are non-negative.
+		}
+	})
+	iters := bits.Len(uint(maxLevel+1)) + 1
+	for it := 0; it < iters; it++ {
+		par.For(workers, n, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				if labeled[x] {
+					pcTmp[x] = pcode[x]
+					pjTmp[x] = pj[x]
+					continue
+				}
+				j := pj[x]
+				pcTmp[x] = dict.Code(pcode[x], pcode[j])
+				pjTmp[x] = pj[j]
+			}
+		})
+		pcode, pcTmp = pcTmp, pcode
+		pj, pjTmp = pjTmp, pj
+	}
+
+	// Final keys and dense renaming.
+	keys := make([]int64, n)
+	par.For(workers, n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			if labeled[x] {
+				keys[x] = dict.Code(correspQ[x], tagFinalQ)
+			} else {
+				keys[x] = dict.Code(pcode[x], tagFinalU)
+			}
+		}
+	})
+	labels := make([]int, n)
+	rename := make(map[int64]int, 64)
+	for x := 0; x < n; x++ {
+		id, ok := rename[keys[x]]
+		if !ok {
+			id = len(rename)
+			rename[keys[x]] = id
+		}
+		labels[x] = id
+	}
+	return labels
+}

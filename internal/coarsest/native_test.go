@@ -1,0 +1,181 @@
+package coarsest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNativeParallelPaperExample(t *testing.T) {
+	ins, aq := paperExample22()
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := NativeParallel(ins, workers)
+		if !SamePartition(got, aq) {
+			t.Errorf("workers=%d: labels %v not equivalent to %v", workers, got, aq)
+		}
+	}
+}
+
+func TestNativeParallelRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(60)
+		ins := randomInstance(rng, n, 1+rng.Intn(4))
+		want := Moore(ins)
+		got := NativeParallel(ins, 1+rng.Intn(8))
+		if !SamePartition(got, want) {
+			t.Fatalf("F=%v B=%v: got %v, want %v", ins.F, ins.B, got, want)
+		}
+	}
+}
+
+func TestNativeParallelDeterministicOutput(t *testing.T) {
+	// Labels are normalized by first occurrence, so output must be
+	// identical across runs and worker counts even though internal codes
+	// are scheduling-dependent.
+	rng := rand.New(rand.NewSource(72))
+	ins := randomInstance(rng, 500, 3)
+	base := NativeParallel(ins, 1)
+	for trial := 0; trial < 5; trial++ {
+		got := NativeParallel(ins, 4)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("nondeterministic output at %d", i)
+			}
+		}
+	}
+}
+
+func TestNativeParallelLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, n := range []int{2000, 10000} {
+		ins := randomInstance(rng, n, 3)
+		want := LinearSequential(ins)
+		got := NativeParallel(ins, 0)
+		if !SamePartition(got, want) {
+			t.Fatalf("n=%d: native parallel disagrees with linear", n)
+		}
+	}
+}
+
+func TestNativeParallelDeepChain(t *testing.T) {
+	n := 3000
+	f := make([]int, n)
+	b := make([]int, n)
+	f[0] = 0
+	for i := 1; i < n; i++ {
+		f[i] = i - 1
+		b[i] = i % 3
+	}
+	ins := Instance{F: f, B: b}
+	if !SamePartition(NativeParallel(ins, 4), Hopcroft(ins)) {
+		t.Fatal("native parallel wrong on deep chain")
+	}
+}
+
+func TestNativeParallelEmpty(t *testing.T) {
+	if got := NativeParallel(Instance{F: []int{}, B: []int{}}, 4); len(got) != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestNativeParallelProperty(t *testing.T) {
+	prop := func(rawF []uint16, rawB []uint8, w uint8) bool {
+		n := len(rawF)
+		if n == 0 {
+			return true
+		}
+		ins := Instance{F: make([]int, n), B: make([]int, n)}
+		for i := range rawF {
+			ins.F[i] = int(rawF[i]) % n
+			if i < len(rawB) {
+				ins.B[i] = int(rawB[i] % 3)
+			}
+		}
+		return SamePartition(NativeParallel(ins, int(w%8)+1), Moore(ins))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoublingBaselinesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		ins := randomInstance(rng, n, 1+rng.Intn(3))
+		want := Moore(ins)
+		gotHash := DoublingHashPRAM(ins, ParallelOptions{}).Labels
+		gotSort := DoublingSortPRAM(ins, ParallelOptions{}).Labels
+		if !SamePartition(gotHash, want) {
+			t.Fatalf("hash doubling wrong on F=%v B=%v: %v vs %v", ins.F, ins.B, gotHash, want)
+		}
+		if !SamePartition(gotSort, want) {
+			t.Fatalf("sort doubling wrong on F=%v B=%v: %v vs %v", ins.F, ins.B, gotSort, want)
+		}
+	}
+}
+
+func TestDoublingPaperExample(t *testing.T) {
+	ins, aq := paperExample22()
+	if got := DoublingHashPRAM(ins, ParallelOptions{}); !SamePartition(got.Labels, aq) {
+		t.Error("hash doubling fails the paper example")
+	}
+	if got := DoublingSortPRAM(ins, ParallelOptions{}); !SamePartition(got.Labels, aq) {
+		t.Error("sort doubling fails the paper example")
+	}
+}
+
+func TestDoublingEmpty(t *testing.T) {
+	res := DoublingHashPRAM(Instance{F: []int{}, B: []int{}}, ParallelOptions{})
+	if len(res.Labels) != 0 {
+		t.Fatal("empty doubling")
+	}
+}
+
+func TestCostOrderingAcrossAlgorithms(t *testing.T) {
+	// The paper's Table-of-prior-work claim (intro): JáJá–Ryu work <
+	// Galley–Iliopoulos-shape (n log n) < Srikant-shape (n log^2 n) at
+	// equal O(log n)-ish time. Verify the measured work ordering on a
+	// moderately large random instance.
+	rng := rand.New(rand.NewSource(75))
+	ins := randomInstance(rng, 1<<12, 3)
+	paper := ParallelPRAM(ins, ParallelOptions{})
+	gi := DoublingHashPRAM(ins, ParallelOptions{})
+	srikant := DoublingSortPRAM(ins, ParallelOptions{})
+	if !SamePartition(paper.Labels, gi.Labels) || !SamePartition(paper.Labels, srikant.Labels) {
+		t.Fatal("algorithms disagree on labels")
+	}
+	if srikant.Stats.Work <= gi.Stats.Work {
+		t.Errorf("Srikant-shape work %d should exceed GI-shape %d", srikant.Stats.Work, gi.Stats.Work)
+	}
+}
+
+func TestChoHuynhAgainstMoore(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(50)
+		ins := randomInstance(rng, n, 1+rng.Intn(3))
+		got := ChoHuynhPRAM(ins, ParallelOptions{})
+		want := Moore(ins)
+		if !SamePartition(got.Labels, want) {
+			t.Fatalf("F=%v B=%v: got %v, want %v", ins.F, ins.B, got.Labels, want)
+		}
+	}
+	if got := ChoHuynhPRAM(Instance{F: []int{}, B: []int{}}, ParallelOptions{}); len(got.Labels) != 0 {
+		t.Fatal("empty Cho-Huynh")
+	}
+}
+
+func TestChoHuynhQuadraticWork(t *testing.T) {
+	// The point of the baseline: Theta(n^2) operations.
+	work := func(n int) int64 {
+		rng := rand.New(rand.NewSource(77))
+		ins := randomInstance(rng, n, 3)
+		return ChoHuynhPRAM(ins, ParallelOptions{}).Stats.Work
+	}
+	w256, w1024 := work(256), work(1024)
+	if ratio := float64(w1024) / float64(w256); ratio < 8 {
+		t.Errorf("4x n grew work only %.1fx, want ~16x (quadratic)", ratio)
+	}
+}

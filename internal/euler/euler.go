@@ -1,0 +1,287 @@
+// Package euler implements the Euler-tour technique of Tarjan & Vishkin on
+// the pseudo-forest induced by a function f, as used by JáJá & Ryu:
+//
+//   - Algorithm "finding cycle nodes" (Section 5): double every edge
+//     (x, f(x)) with a buddy (f(x), x), build the dart-successor function,
+//     and decompose it into Euler tours. Each pseudo-tree yields exactly two
+//     tours; a cycle edge and its buddy land in different tours while a tree
+//     edge and its buddy share a tour, which identifies the cycle nodes.
+//   - Tree rooting, levels and subtree intervals (Section 4): the forest of
+//     non-cycle nodes is toured tree by tree, giving each node Euler in/out
+//     times, its root (the cycle node its path enters) and its level, all in
+//     O(log n) time and O(n) work beyond list ranking.
+package euler
+
+import (
+	"sfcp/internal/intsort"
+	"sfcp/internal/listrank"
+	"sfcp/internal/pram"
+)
+
+// Options configures the substrate algorithms used by the tour machinery.
+type Options struct {
+	// Sort selects the integer-sorting strategy for building dart
+	// adjacency lists. Defaults to intsort.Modeled (the paper treats the
+	// sorter as a black box; see DESIGN.md).
+	Sort intsort.Strategy
+	// Rank selects the list-ranking method for touring. Defaults to
+	// listrank.RulingSet (work-optimal, standing in for Anderson–Miller).
+	Rank listrank.Method
+}
+
+// Forest is the fully analysed pseudo-forest of a function f.
+type Forest struct {
+	// N is the number of nodes.
+	N int
+	// OnCycle[x] = 1 iff x lies on a cycle of f.
+	OnCycle *pram.Array
+	// Root[x] is the cycle node at which the tree path from x enters the
+	// cycle; Root[x] = x for cycle nodes.
+	Root *pram.Array
+	// Level[x] is the distance from x to Root[x]; 0 for cycle nodes.
+	Level *pram.Array
+	// In and Out are global Euler-tour timestamps of the tree nodes.
+	// Tree node y is a descendant-or-self of tree node x iff
+	// In[x] <= In[y] && In[y] <= Out[x]. Nodes that are not part of any
+	// tree tour (cycle nodes without tree children get In = Out = -1 too)
+	// carry -1.
+	In, Out *pram.Array
+	// TourLen is the total length of all tree tours (2 x tree edges).
+	TourLen int
+
+	m *pram.Machine
+}
+
+// dartTours builds the dart-successor permutation for a set of darts and
+// returns the tour decomposition. Darts are given by their tails; twins are
+// paired as (2i, 2i+1). It returns, per dart, the tour leader (canonical
+// tour id), the rank within the tour starting from the tour's minimum dart,
+// the tour length, and the adjacency bookkeeping needed to pick root darts:
+// pos (sorted position of each dart) and groupStart (first sorted position
+// per tail vertex, -1 if the vertex has no dart).
+func dartTours(m *pram.Machine, tails *pram.Array, n int, opts Options) (leader, rank, length, pos, groupStart *pram.Array) {
+	nd := tails.Len()
+	perm := intsort.SortPRAM(m, tails, int64(n-1), opts.Sort)
+	pos = m.NewArray(nd)
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		c.Write(pos, int(c.Read(perm, p)), int64(p))
+	})
+	groupStart = m.NewArray(n)
+	groupEnd := m.NewArray(n)
+	pram.Fill(m, groupStart, -1)
+	pram.Fill(m, groupEnd, -1)
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		v := int(c.Read(tails, int(c.Read(perm, p))))
+		if p == 0 || int(c.Read(tails, int(c.Read(perm, p-1)))) != v {
+			c.Write(groupStart, v, int64(p))
+		}
+		if p == nd-1 || int(c.Read(tails, int(c.Read(perm, p+1)))) != v {
+			c.Write(groupEnd, v, int64(p))
+		}
+	})
+	// succ(d) = the dart after twin(d), cyclically, in the adjacency list
+	// of twin(d)'s tail (= head of d). Twin pairing: twin(d) = d^1.
+	succ := m.NewArray(nd)
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		twin := p ^ 1
+		v := int(c.Read(tails, twin))
+		j := c.Read(pos, twin)
+		if j == c.Read(groupEnd, v) {
+			j = c.Read(groupStart, v)
+		} else {
+			j++
+		}
+		c.Write(succ, p, c.Read(perm, int(j)))
+	})
+	leader, rank, length = listrank.CycleRank(m, succ, opts.Rank)
+	return leader, rank, length, pos, groupStart
+}
+
+// FindCycleNodes marks the nodes of f lying on cycles (Algorithm "finding
+// cycle nodes"). It returns a 0/1 flag array. O(log n) time; work is O(n)
+// beyond the integer sort and list ranking chosen in opts.
+func FindCycleNodes(m *pram.Machine, f *pram.Array, opts Options) *pram.Array {
+	n := f.Len()
+	onCycle := m.NewArray(n)
+	if n == 0 {
+		return onCycle
+	}
+	// Dart 2x = (x, f(x)); dart 2x+1 = its buddy (f(x), x).
+	tails := m.NewArray(2 * n)
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		c.Write(tails, 2*p, int64(p))
+		c.Write(tails, 2*p+1, c.Read(f, p))
+	})
+	leader, _, _, _, _ := dartTours(m, tails, n, opts)
+	// Edge (x, f(x)) is a cycle edge iff it and its buddy lie in different
+	// Euler tours; every cycle node owns exactly one outgoing cycle edge.
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		if c.Read(leader, 2*p) != c.Read(leader, 2*p+1) {
+			c.Write(onCycle, p, 1)
+		} else {
+			c.Write(onCycle, p, 0)
+		}
+	})
+	return onCycle
+}
+
+// Analyze runs the complete pseudo-forest analysis for f: cycle nodes, tree
+// roots, levels, and global Euler-tour subtree intervals.
+func Analyze(m *pram.Machine, f *pram.Array, opts Options) *Forest {
+	n := f.Len()
+	fr := &Forest{N: n, m: m}
+	fr.OnCycle = FindCycleNodes(m, f, opts)
+	fr.Root = m.NewArray(n)
+	fr.Level = m.NewArray(n)
+	fr.In = m.NewArray(n)
+	fr.Out = m.NewArray(n)
+	if n == 0 {
+		return fr
+	}
+	pram.Fill(m, fr.In, -1)
+	pram.Fill(m, fr.Out, -1)
+	// Cycle nodes are their own roots at level 0.
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		if c.Read(fr.OnCycle, p) != 0 {
+			c.Write(fr.Root, p, int64(p))
+		} else {
+			c.Write(fr.Root, p, -1)
+		}
+		c.Write(fr.Level, p, 0)
+	})
+
+	// Tree darts: for every tree node x, up-dart (x, f(x)) and down-dart
+	// (f(x), x), compactly indexed as (2i, 2i+1) over tree nodes.
+	notCycle := m.NewArray(n)
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		c.Write(notCycle, p, 1-c.Read(fr.OnCycle, p))
+	})
+	treeNodes := pram.CompactIndices(m, notCycle)
+	nt := treeNodes.Len()
+	if nt == 0 {
+		return fr // pure cycles: nothing else to do
+	}
+	tails := m.NewArray(2 * nt)
+	m.ParDo(nt, func(c *pram.Ctx, p int) {
+		x := int(c.Read(treeNodes, p))
+		c.Write(tails, 2*p, int64(x))
+		c.Write(tails, 2*p+1, c.Read(f, x))
+	})
+	leader, rank, length, pos, groupStart := dartTours(m, tails, n, opts)
+	nd := 2 * nt
+
+	// The unique "root dart" of each tree tour is the first adjacency-list
+	// dart of the tour's root vertex (the only cycle node in the tour).
+	// Shift tour ranks so it gets rank 0, and record the root identity.
+	shift := m.NewArray(nd)  // indexed by tour leader dart
+	rootOf := m.NewArray(nd) // indexed by tour leader dart
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		v := int(c.Read(tails, p))
+		if c.Read(fr.OnCycle, v) != 0 && c.Read(pos, p) == c.Read(groupStart, v) {
+			l := int(c.Read(leader, p))
+			c.Write(shift, l, c.Read(rank, p))
+			c.Write(rootOf, l, int64(v))
+		}
+	})
+	localRank := m.NewArray(nd)
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		l := int(c.Read(leader, p))
+		ln := c.Read(length, p)
+		v := (c.Read(rank, p) - c.Read(shift, l)) % ln
+		if v < 0 {
+			v += ln
+		}
+		c.Write(localRank, p, v)
+	})
+
+	// Lay the tours out in one global sequence: leaders in index order,
+	// each tour occupying a contiguous block of its length.
+	isLeader := m.NewArray(nd)
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		if int(c.Read(leader, p)) == p {
+			c.Write(isLeader, p, c.Read(length, p))
+		} else {
+			c.Write(isLeader, p, 0)
+		}
+	})
+	offsets, total := pram.ExclusiveScan(m, isLeader)
+	fr.TourLen = int(total)
+	globalRank := m.NewArray(nd)
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		l := int(c.Read(leader, p))
+		c.Write(globalRank, p, c.Read(offsets, l)+c.Read(localRank, p))
+	})
+
+	// In/out timestamps: in(x) = global rank of the down-dart (f(x), x),
+	// out(x) = global rank of the up-dart (x, f(x)). Roots span their
+	// whole tour block.
+	m.ParDo(nt, func(c *pram.Ctx, p int) {
+		x := int(c.Read(treeNodes, p))
+		c.Write(fr.In, x, c.Read(globalRank, 2*p+1))
+		c.Write(fr.Out, x, c.Read(globalRank, 2*p))
+		l := int(c.Read(leader, 2*p))
+		c.Write(fr.Root, x, c.Read(rootOf, l))
+	})
+	m.ParDo(nd, func(c *pram.Ctx, p int) {
+		l := int(c.Read(leader, p))
+		r := int(c.Read(rootOf, l))
+		c.Write(fr.In, r, c.Read(offsets, l))
+		c.Write(fr.Out, r, c.Read(offsets, l)+c.Read(length, p)-1)
+	})
+
+	// Levels by ancestor counting: every tree node contributes +1 over its
+	// subtree interval; the prefix sum at in(x) counts x's tree ancestors
+	// including itself, which is exactly its level.
+	ones := m.NewArray(n)
+	pram.Copy(m, ones, notCycle)
+	lv := fr.countFlaggedAncestors(ones)
+	pram.Copy(m, fr.Level, lv)
+	return fr
+}
+
+// CountFlaggedAncestors returns cnt[x] = the number of tree nodes y with
+// flag[y] != 0 that are ancestors of x within its tree, counting x itself.
+// Cycle nodes always get 0. O(log n) time, O(n) work.
+func (fr *Forest) CountFlaggedAncestors(flag *pram.Array) *pram.Array {
+	return fr.countFlaggedAncestors(flag)
+}
+
+func (fr *Forest) countFlaggedAncestors(flag *pram.Array) *pram.Array {
+	m := fr.m
+	n := fr.N
+	cnt := m.NewArray(n)
+	if fr.TourLen == 0 {
+		return cnt
+	}
+	delta := m.NewArray(fr.TourLen + 1)
+	pram.Fill(m, delta, 0)
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		if c.Read(fr.OnCycle, p) != 0 || c.Read(flag, p) == 0 {
+			return
+		}
+		c.Write(delta, int(c.Read(fr.In, p)), 1)
+	})
+	// Separate step for the -1 endpoints: +1 and -1 can target the same
+	// position (in(sibling) == out(y)+1), so accumulate in two passes.
+	minus := m.NewArray(fr.TourLen + 1)
+	pram.Fill(m, minus, 0)
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		if c.Read(fr.OnCycle, p) != 0 || c.Read(flag, p) == 0 {
+			return
+		}
+		c.Write(minus, int(c.Read(fr.Out, p))+1, 1)
+	})
+	net := m.NewArray(fr.TourLen + 1)
+	m.ParDo(fr.TourLen+1, func(c *pram.Ctx, p int) {
+		c.Write(net, p, c.Read(delta, p)-c.Read(minus, p))
+	})
+	prefix, _ := pram.InclusiveScan(m, net)
+	m.ParDo(n, func(c *pram.Ctx, p int) {
+		if c.Read(fr.OnCycle, p) != 0 {
+			c.Write(cnt, p, 0)
+			return
+		}
+		c.Write(cnt, p, c.Read(prefix, int(c.Read(fr.In, p))))
+	})
+	return cnt
+}

@@ -1,0 +1,299 @@
+package euler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/listrank"
+	"sfcp/internal/pram"
+)
+
+// seqCycleNodes marks cycle nodes by the standard two-pass sequential method:
+// follow f from every node with visit stamps.
+func seqCycleNodes(f []int) []bool {
+	n := len(f)
+	state := make([]int8, n) // 0 unvisited, 1 in progress, 2 done
+	onCycle := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		var path []int
+		x := s
+		for state[x] == 0 {
+			state[x] = 1
+			path = append(path, x)
+			x = f[x]
+		}
+		if state[x] == 1 {
+			// Found a new cycle; mark from x to the end of path.
+			for i := len(path) - 1; i >= 0; i-- {
+				onCycle[path[i]] = true
+				if path[i] == x {
+					break
+				}
+			}
+		}
+		for _, y := range path {
+			state[y] = 2
+		}
+	}
+	return onCycle
+}
+
+// seqRootsLevels computes root and level for every node sequentially.
+func seqRootsLevels(f []int, onCycle []bool) (root, level []int) {
+	n := len(f)
+	root = make([]int, n)
+	level = make([]int, n)
+	for x := 0; x < n; x++ {
+		if onCycle[x] {
+			root[x] = x
+			continue
+		}
+		d := 0
+		y := x
+		for !onCycle[y] {
+			y = f[y]
+			d++
+		}
+		root[x] = y
+		level[x] = d
+	}
+	return root, level
+}
+
+func defaultOpts() Options {
+	return Options{Sort: intsort.Modeled, Rank: listrank.Wyllie}
+}
+
+func checkForest(t *testing.T, f []int, opts Options) *Forest {
+	t.Helper()
+	m := pram.New(pram.ArbitraryCRCW)
+	fa := m.NewArrayFromInts(f)
+	fr := Analyze(m, fa, opts)
+
+	wantCycle := seqCycleNodes(f)
+	gotCycle := fr.OnCycle.Ints()
+	for i := range f {
+		if (gotCycle[i] != 0) != wantCycle[i] {
+			t.Fatalf("f=%v node %d: onCycle=%v, want %v", f, i, gotCycle[i] != 0, wantCycle[i])
+		}
+	}
+	wantRoot, wantLevel := seqRootsLevels(f, wantCycle)
+	gotRoot, gotLevel := fr.Root.Ints(), fr.Level.Ints()
+	for i := range f {
+		if gotRoot[i] != wantRoot[i] {
+			t.Fatalf("f=%v node %d: root=%d, want %d", f, i, gotRoot[i], wantRoot[i])
+		}
+		if gotLevel[i] != wantLevel[i] {
+			t.Fatalf("f=%v node %d: level=%d, want %d", f, i, gotLevel[i], wantLevel[i])
+		}
+	}
+
+	// Interval invariants: tree node intervals nest exactly per ancestry.
+	in, out := fr.In.Ints(), fr.Out.Ints()
+	for x := range f {
+		if wantCycle[x] {
+			continue
+		}
+		if in[x] < 0 || out[x] < in[x] || out[x] >= fr.TourLen {
+			t.Fatalf("node %d: bad interval [%d,%d] tourLen=%d", x, in[x], out[x], fr.TourLen)
+		}
+	}
+	for x := range f {
+		if wantCycle[x] {
+			continue
+		}
+		for y := range f {
+			if wantCycle[y] || x == y {
+				continue
+			}
+			// Is y a proper descendant of x (following f from y reaches x
+			// before leaving the tree)?
+			desc := false
+			z := y
+			for !wantCycle[z] {
+				z = f[z]
+				if z == x {
+					desc = true
+					break
+				}
+			}
+			contained := in[x] <= in[y] && in[y] <= out[x]
+			if desc != contained {
+				t.Fatalf("f=%v: descendant(%d of %d)=%v but interval containment=%v (in/out x=[%d,%d] y=[%d,%d])",
+					f, y, x, desc, contained, in[x], out[x], in[y], out[y])
+			}
+		}
+	}
+	return fr
+}
+
+func TestAnalyzeSmallShapes(t *testing.T) {
+	cases := [][]int{
+		{0},                   // self loop
+		{1, 0},                // 2-cycle
+		{0, 0},                // self loop with one tree node
+		{1, 2, 0},             // 3-cycle
+		{1, 2, 0, 0, 3},       // 3-cycle with chain 4->3->0
+		{0, 0, 0, 0},          // star into self loop
+		{1, 0, 1, 2, 3},       // 2-cycle with path 4->3->2->1
+		{3, 3, 3, 3},          // 3 tree nodes into self loop 3
+		{1, 2, 3, 4, 0, 0, 5}, // 5-cycle, tree nodes 5,6
+		{2, 2, 3, 2},          // cycle {2,3}, trees 0,1 -> 2
+	}
+	for _, f := range cases {
+		checkForest(t, f, defaultOpts())
+	}
+}
+
+func TestAnalyzeRandomFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 8, 20, 50, 120} {
+		for trial := 0; trial < 4; trial++ {
+			f := make([]int, n)
+			for i := range f {
+				f[i] = rng.Intn(n)
+			}
+			checkForest(t, f, defaultOpts())
+		}
+	}
+}
+
+func TestAnalyzePurePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := rng.Perm(60)
+	fr := checkForest(t, f, defaultOpts())
+	for i, v := range fr.OnCycle.Ints() {
+		if v != 1 {
+			t.Fatalf("permutation node %d not on cycle", i)
+		}
+	}
+	if fr.TourLen != 0 {
+		t.Fatalf("pure permutation has tour length %d, want 0", fr.TourLen)
+	}
+}
+
+func TestAnalyzeLongPathIntoSelfLoop(t *testing.T) {
+	n := 300
+	f := make([]int, n)
+	f[0] = 0
+	for i := 1; i < n; i++ {
+		f[i] = i - 1
+	}
+	fr := checkForest(t, f, defaultOpts())
+	levels := fr.Level.Ints()
+	if levels[n-1] != n-1 {
+		t.Fatalf("deep path level = %d, want %d", levels[n-1], n-1)
+	}
+}
+
+func TestAnalyzeAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := make([]int, 40)
+	for i := range f {
+		f[i] = rng.Intn(40)
+	}
+	for _, sortStrat := range []intsort.Strategy{intsort.Modeled, intsort.BitSplit, intsort.Grouped} {
+		for _, rankMethod := range []listrank.Method{listrank.Wyllie, listrank.RulingSet} {
+			checkForest(t, f, Options{Sort: sortStrat, Rank: rankMethod})
+		}
+	}
+}
+
+func TestFindCycleNodesProperty(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		f := make([]int, n)
+		for i := range f {
+			f[i] = rng.Intn(n)
+		}
+		m := pram.New(pram.ArbitraryCRCW)
+		fa := m.NewArrayFromInts(f)
+		got := FindCycleNodes(m, fa, defaultOpts()).Ints()
+		want := seqCycleNodes(f)
+		for i := range f {
+			if (got[i] != 0) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindCycleNodesEmpty(t *testing.T) {
+	m := pram.New(pram.ArbitraryCRCW)
+	fa := m.NewArray(0)
+	if got := FindCycleNodes(m, fa, defaultOpts()); got.Len() != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestCountFlaggedAncestors(t *testing.T) {
+	// Tree: 5 -> 4 -> 3 -> 0 (self loop), 2 -> 0, 1 -> 0.
+	f := []int{0, 0, 0, 0, 3, 4}
+	m := pram.New(pram.ArbitraryCRCW)
+	fa := m.NewArrayFromInts(f)
+	fr := Analyze(m, fa, defaultOpts())
+
+	// Flag node 4 only: counts must be 1 for 4 and 5, 0 elsewhere.
+	flag := m.NewArray(6)
+	flag.SetHost(4, 1)
+	cnt := fr.CountFlaggedAncestors(flag).Ints()
+	want := []int{0, 0, 0, 0, 1, 1}
+	for i := range want {
+		if cnt[i] != want[i] {
+			t.Fatalf("cnt = %v, want %v", cnt, want)
+		}
+	}
+
+	// Flag nodes 3 and 5: node 5 sees both (3 is an ancestor, 5 is self).
+	flag2 := m.NewArray(6)
+	flag2.SetHost(3, 1)
+	flag2.SetHost(5, 1)
+	cnt2 := fr.CountFlaggedAncestors(flag2).Ints()
+	want2 := []int{0, 0, 0, 1, 1, 2}
+	for i := range want2 {
+		if cnt2[i] != want2[i] {
+			t.Fatalf("cnt2 = %v, want %v", cnt2, want2)
+		}
+	}
+}
+
+func TestAnalyzeComplexityShape(t *testing.T) {
+	// Rounds must stay logarithmic and work per node bounded by a constant
+	// (the asymptotic separation from n log n is established over a wide
+	// sweep by experiment E2; at a single size only gross blowups are
+	// detectable).
+	measure := func(n int) pram.Stats {
+		rng := rand.New(rand.NewSource(5))
+		f := make([]int, n)
+		for i := range f {
+			f[i] = rng.Intn(n)
+		}
+		m := pram.New(pram.ArbitraryCRCW)
+		fa := m.NewArrayFromInts(f)
+		m.ResetStats()
+		Analyze(m, fa, Options{Sort: intsort.Modeled, Rank: listrank.RulingSet})
+		return m.Stats()
+	}
+	s13 := measure(1 << 13)
+	if s13.Rounds > 1500 {
+		t.Errorf("n=2^13: %d rounds, want O(log n)-ish (few hundred)", s13.Rounds)
+	}
+	if perNode := s13.Work / (1 << 13); perNode > 600 {
+		t.Errorf("n=2^13: %d work per node, want bounded constant", perNode)
+	}
+	// Doubling n should roughly double work (near-linear scaling).
+	s14 := measure(1 << 14)
+	if ratio := float64(s14.Work) / float64(s13.Work); ratio > 2.6 {
+		t.Errorf("work ratio for doubling n = %.2f, want close to 2", ratio)
+	}
+}

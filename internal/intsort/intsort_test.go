@@ -1,0 +1,265 @@
+package intsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sfcp/internal/pram"
+)
+
+func checkStablePerm(t *testing.T, keys []int64, perm []int) {
+	t.Helper()
+	if len(perm) != len(keys) {
+		t.Fatalf("perm length %d, want %d", len(perm), len(keys))
+	}
+	seen := make([]bool, len(keys))
+	for _, p := range perm {
+		if p < 0 || p >= len(keys) || seen[p] {
+			t.Fatalf("perm %v is not a permutation", perm)
+		}
+		seen[p] = true
+	}
+	for j := 1; j < len(perm); j++ {
+		a, b := keys[perm[j-1]], keys[perm[j]]
+		if a > b {
+			t.Fatalf("not sorted at %d: %d > %d", j, a, b)
+		}
+		if a == b && perm[j-1] > perm[j] {
+			t.Fatalf("not stable at %d: index %d before %d for equal key %d", j, perm[j-1], perm[j], a)
+		}
+	}
+}
+
+func TestStableRanks(t *testing.T) {
+	keys := []int64{5, 3, 5, 1, 3, 3, 0}
+	checkStablePerm(t, keys, StableRanks(keys))
+}
+
+func TestCountingRanksMatchesStable(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := make([]int64, len(raw))
+		var max int64
+		for i, v := range raw {
+			keys[i] = int64(v % 997)
+			if keys[i] > max {
+				max = keys[i]
+			}
+		}
+		a := StableRanks(keys)
+		b := CountingRanks(keys, max)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingRanksEmpty(t *testing.T) {
+	if got := CountingRanks(nil, 10); len(got) != 0 {
+		t.Fatalf("CountingRanks(nil) = %v", got)
+	}
+}
+
+func allStrategies() []Strategy { return []Strategy{Modeled, BitSplit, Grouped} }
+
+func TestSortPRAMAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, strat := range allStrategies() {
+		for _, n := range []int{0, 1, 2, 3, 7, 16, 100, 257} {
+			keys := make([]int64, n)
+			for i := range keys {
+				keys[i] = int64(rng.Intn(3 * (n + 1)))
+			}
+			m := pram.New(pram.ArbitraryCRCW)
+			a := m.NewArrayFrom(keys)
+			perm := SortPRAM(m, a, int64(3*(n+1)), strat)
+			checkStablePerm(t, keys, perm.Ints())
+		}
+	}
+}
+
+func TestSortPRAMAlreadySortedAndReversed(t *testing.T) {
+	n := 64
+	asc := make([]int64, n)
+	desc := make([]int64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = int64(i)
+		desc[i] = int64(n - i)
+	}
+	for _, strat := range allStrategies() {
+		for _, keys := range [][]int64{asc, desc} {
+			m := pram.New(pram.ArbitraryCRCW)
+			a := m.NewArrayFrom(keys)
+			perm := SortPRAM(m, a, int64(n+1), strat)
+			checkStablePerm(t, keys, perm.Ints())
+		}
+	}
+}
+
+func TestSortPRAMAllEqual(t *testing.T) {
+	keys := make([]int64, 50)
+	for i := range keys {
+		keys[i] = 7
+	}
+	for _, strat := range allStrategies() {
+		m := pram.New(pram.ArbitraryCRCW)
+		a := m.NewArrayFrom(keys)
+		perm := SortPRAM(m, a, 7, strat)
+		// Stability forces the identity permutation.
+		for i, p := range perm.Ints() {
+			if p != i {
+				t.Fatalf("%v: perm[%d] = %d, want identity", strat, i, p)
+			}
+		}
+	}
+}
+
+func TestSortPRAMZeroMaxKey(t *testing.T) {
+	keys := []int64{0, 0, 0}
+	for _, strat := range allStrategies() {
+		m := pram.New(pram.ArbitraryCRCW)
+		a := m.NewArrayFrom(keys)
+		perm := SortPRAM(m, a, 0, strat)
+		checkStablePerm(t, keys, perm.Ints())
+	}
+}
+
+func TestSortPRAMProperty(t *testing.T) {
+	f := func(raw []uint16, pick uint8) bool {
+		strat := allStrategies()[int(pick)%3]
+		keys := make([]int64, len(raw))
+		var max int64
+		for i, v := range raw {
+			keys[i] = int64(v)
+			if keys[i] > max {
+				max = keys[i]
+			}
+		}
+		m := pram.New(pram.ArbitraryCRCW)
+		a := m.NewArrayFrom(keys)
+		perm := SortPRAM(m, a, max, strat).Ints()
+		want := StableRanks(keys)
+		for i := range want {
+			if perm[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortPairsPRAM(t *testing.T) {
+	as := []int64{3, 1, 3, 1, 2}
+	bs := []int64{0, 5, 0, 2, 9}
+	type pair struct {
+		a, b int64
+		idx  int
+	}
+	pairs := make([]pair, len(as))
+	for i := range as {
+		pairs[i] = pair{as[i], bs[i], i}
+	}
+	sort.SliceStable(pairs, func(x, y int) bool {
+		if pairs[x].a != pairs[y].a {
+			return pairs[x].a < pairs[y].a
+		}
+		return pairs[x].b < pairs[y].b
+	})
+	for _, strat := range allStrategies() {
+		m := pram.New(pram.ArbitraryCRCW)
+		aArr := m.NewArrayFrom(as)
+		bArr := m.NewArrayFrom(bs)
+		permArr, _ := SortPairsPRAM(m, aArr, bArr, 9, strat)
+		perm := permArr.Ints()
+		for i := range pairs {
+			if perm[i] != pairs[i].idx {
+				t.Fatalf("%v: perm = %v, want order %v", strat, perm, pairs)
+			}
+		}
+	}
+}
+
+func TestRankDistinct(t *testing.T) {
+	keys := []int64{50, 10, 50, 30, 10}
+	m := pram.New(pram.ArbitraryCRCW)
+	a := m.NewArrayFrom(keys)
+	perm := SortPRAM(m, a, 50, Modeled)
+	ranks, distinct := RankDistinct(m, a, perm, 1)
+	if distinct != 3 {
+		t.Fatalf("distinct = %d, want 3", distinct)
+	}
+	want := []int{3, 1, 3, 2, 1}
+	for i, r := range ranks.Ints() {
+		if r != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks.Ints(), want)
+		}
+	}
+}
+
+func TestRankDistinctEmpty(t *testing.T) {
+	m := pram.New(pram.ArbitraryCRCW)
+	a := m.NewArray(0)
+	perm := SortPRAM(m, a, 0, Modeled)
+	ranks, distinct := RankDistinct(m, a, perm, 0)
+	if ranks.Len() != 0 || distinct != 0 {
+		t.Fatalf("empty RankDistinct: len=%d distinct=%d", ranks.Len(), distinct)
+	}
+}
+
+func TestRankDistinctBase(t *testing.T) {
+	keys := []int64{2, 2, 2}
+	m := pram.New(pram.ArbitraryCRCW)
+	a := m.NewArrayFrom(keys)
+	perm := SortPRAM(m, a, 2, Modeled)
+	ranks, distinct := RankDistinct(m, a, perm, 10)
+	if distinct != 1 {
+		t.Fatalf("distinct = %d", distinct)
+	}
+	for _, r := range ranks.Ints() {
+		if r != 10 {
+			t.Fatalf("ranks = %v, want all 10", ranks.Ints())
+		}
+	}
+}
+
+func TestModeledWorkCheaperThanBitSplit(t *testing.T) {
+	// The entire point of the Bhatt et al. substitution: modeled work is
+	// O(n log log n) while bit-split is O(n log n).
+	n := 1 << 12
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(n))
+	}
+	work := map[Strategy]int64{}
+	for _, strat := range allStrategies() {
+		m := pram.New(pram.ArbitraryCRCW)
+		a := m.NewArrayFrom(keys)
+		m.ResetStats()
+		SortPRAM(m, a, int64(n), strat)
+		work[strat] = m.Stats().Work
+	}
+	if work[Modeled] >= work[BitSplit] {
+		t.Errorf("modeled work %d should be below bit-split %d", work[Modeled], work[BitSplit])
+	}
+	if work[Grouped] >= work[BitSplit] {
+		t.Errorf("grouped work %d should be below bit-split %d", work[Grouped], work[BitSplit])
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Modeled.String() != "modeled-bhatt" || BitSplit.String() != "bit-split" ||
+		Grouped.String() != "grouped-counting" || Strategy(9).String() != "unknown" {
+		t.Fatal("Strategy.String mismatch")
+	}
+}

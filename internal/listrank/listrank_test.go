@@ -1,0 +1,240 @@
+package listrank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfcp/internal/pram"
+)
+
+// randomPermutation builds a permutation whose cycle structure is random.
+func randomPermutation(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+// permWithCycles builds a permutation with the given cycle lengths.
+func permWithCycles(lengths []int) []int {
+	var next []int
+	start := 0
+	for _, l := range lengths {
+		for i := 0; i < l; i++ {
+			next = append(next, start+(i+1)%l)
+		}
+		start += l
+	}
+	return next
+}
+
+// referenceCycleRank computes leader/rank/length by direct traversal.
+func referenceCycleRank(next []int) (leader, rank, length []int) {
+	n := len(next)
+	leader = make([]int, n)
+	rank = make([]int, n)
+	length = make([]int, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		// Collect the cycle through i.
+		var cyc []int
+		j := i
+		for !seen[j] {
+			seen[j] = true
+			cyc = append(cyc, j)
+			j = next[j]
+		}
+		min := cyc[0]
+		minPos := 0
+		for pos, v := range cyc {
+			if v < min {
+				min, minPos = v, pos
+			}
+		}
+		for pos, v := range cyc {
+			leader[v] = min
+			rank[v] = (pos - minPos + len(cyc)) % len(cyc)
+			length[v] = len(cyc)
+		}
+	}
+	return leader, rank, length
+}
+
+func checkCycleRank(t *testing.T, next []int, method Method) {
+	t.Helper()
+	m := pram.New(pram.ArbitraryCRCW)
+	nx := m.NewArrayFromInts(next)
+	leader, rank, length := CycleRank(m, nx, method)
+	wl, wr, wn := referenceCycleRank(next)
+	gl, gr, gn := leader.Ints(), rank.Ints(), length.Ints()
+	for i := range next {
+		if gl[i] != wl[i] || gr[i] != wr[i] || gn[i] != wn[i] {
+			t.Fatalf("%v n=%d node %d: got (leader=%d rank=%d len=%d), want (%d %d %d)",
+				method, len(next), i, gl[i], gr[i], gn[i], wl[i], wr[i], wn[i])
+		}
+	}
+}
+
+func TestCycleRankSmallCases(t *testing.T) {
+	cases := [][]int{
+		{0},          // self loop
+		{1, 0},       // 2-cycle
+		{1, 2, 0},    // 3-cycle
+		{0, 1},       // two self loops
+		{1, 0, 3, 2}, // two 2-cycles
+		permWithCycles([]int{5, 1, 3}),
+		permWithCycles([]int{12}),
+		permWithCycles([]int{1, 1, 1, 1}),
+	}
+	for _, next := range cases {
+		for _, method := range []Method{Wyllie, RulingSet} {
+			checkCycleRank(t, next, method)
+		}
+	}
+}
+
+func TestCycleRankRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 5, 17, 64, 65, 200, 1000} {
+		for trial := 0; trial < 3; trial++ {
+			next := randomPermutation(rng, n)
+			checkCycleRank(t, next, Wyllie)
+			checkCycleRank(t, next, RulingSet)
+		}
+	}
+}
+
+func TestCycleRankSingleLongCycle(t *testing.T) {
+	// A single cycle larger than the ruling-set small-input cutoff.
+	for _, n := range []int{65, 128, 513, 2048} {
+		next := permWithCycles([]int{n})
+		checkCycleRank(t, next, Wyllie)
+		checkCycleRank(t, next, RulingSet)
+	}
+}
+
+func TestCycleRankManySmallCycles(t *testing.T) {
+	// Many 2-cycles: most have no ruler, exercising the fallback path.
+	lengths := make([]int, 100)
+	for i := range lengths {
+		lengths[i] = 2
+	}
+	next := permWithCycles(lengths)
+	checkCycleRank(t, next, RulingSet)
+}
+
+func TestCycleRankEmpty(t *testing.T) {
+	m := pram.New(pram.ArbitraryCRCW)
+	nx := m.NewArray(0)
+	leader, rank, length := CycleRank(m, nx, Wyllie)
+	if leader.Len() != 0 || rank.Len() != 0 || length.Len() != 0 {
+		t.Fatal("empty CycleRank should return empty arrays")
+	}
+}
+
+func TestCycleRankProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		next := randomPermutation(rng, n)
+		m := pram.New(pram.ArbitraryCRCW)
+		nx := m.NewArrayFromInts(next)
+		leader, rank, length := CycleRank(m, nx, RulingSet)
+		wl, wr, wn := referenceCycleRank(next)
+		gl, gr, gn := leader.Ints(), rank.Ints(), length.Ints()
+		for i := range next {
+			if gl[i] != wl[i] || gr[i] != wr[i] || gn[i] != wn[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulingSetWorkBelowWyllie(t *testing.T) {
+	// On a large single cycle the ruling set must do asymptotically less
+	// work than pointer jumping.
+	n := 1 << 14
+	next := permWithCycles([]int{n})
+
+	mW := pram.New(pram.ArbitraryCRCW)
+	nxW := mW.NewArrayFromInts(next)
+	mW.ResetStats()
+	CycleRank(mW, nxW, Wyllie)
+	workW := mW.Stats().Work
+
+	mR := pram.New(pram.ArbitraryCRCW)
+	nxR := mR.NewArrayFromInts(next)
+	mR.ResetStats()
+	CycleRank(mR, nxR, RulingSet)
+	workR := mR.Stats().Work
+
+	if workR >= workW {
+		t.Errorf("ruling-set work %d should be below Wyllie %d on n=%d", workR, workW, n)
+	}
+}
+
+func TestRankToEnd(t *testing.T) {
+	// Two lists: 0 -> 1 -> 2 -> end, 3 -> end, and 4 -> 3.
+	next := []int{1, 2, -1, -1, 3}
+	m := pram.New(pram.ArbitraryCRCW)
+	nx := m.NewArrayFromInts(next)
+	dist := RankToEnd(m, nx)
+	want := []int{2, 1, 0, 0, 1}
+	for i, v := range dist.Ints() {
+		if v != want[i] {
+			t.Fatalf("RankToEnd = %v, want %v", dist.Ints(), want)
+		}
+	}
+}
+
+func TestRankToEndLongChain(t *testing.T) {
+	n := 1000
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = -1
+	m := pram.New(pram.ArbitraryCRCW)
+	nx := m.NewArrayFromInts(next)
+	dist := RankToEnd(m, nx)
+	for i, v := range dist.Ints() {
+		if v != n-1-i {
+			t.Fatalf("dist[%d] = %d, want %d", i, v, n-1-i)
+		}
+	}
+}
+
+func TestRankToEndEmpty(t *testing.T) {
+	m := pram.New(pram.ArbitraryCRCW)
+	nx := m.NewArray(0)
+	if dist := RankToEnd(m, nx); dist.Len() != 0 {
+		t.Fatal("empty RankToEnd should be empty")
+	}
+}
+
+func TestCycleRankLogarithmicRounds(t *testing.T) {
+	// Rounds must grow like log n, not n.
+	for _, n := range []int{1 << 10, 1 << 14} {
+		next := permWithCycles([]int{n})
+		m := pram.New(pram.ArbitraryCRCW)
+		nx := m.NewArrayFromInts(next)
+		m.ResetStats()
+		CycleRank(m, nx, Wyllie)
+		rounds := m.Stats().Rounds
+		if rounds > 200 {
+			t.Errorf("n=%d: Wyllie CycleRank used %d rounds, want O(log n)", n, rounds)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Wyllie.String() != "wyllie" || RulingSet.String() != "ruling-set" || Method(7).String() != "unknown" {
+		t.Fatal("Method.String mismatch")
+	}
+}

@@ -1,0 +1,121 @@
+// Package par provides the minimal native parallel toolkit used by the
+// goroutine (wall-clock) implementations: a chunked parallel for and a
+// sharded concurrent pair-code dictionary. Unlike package pram, nothing
+// here is instrumented — these primitives exist to measure real speedups
+// on real cores (experiment E8).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count (0 or negative = NumCPU).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.NumCPU()
+}
+
+// For runs fn over the index chunks of [0, n) using the given number of
+// workers. fn receives half-open ranges [lo, hi). It blocks until all
+// chunks complete. Chunks are contiguous and balanced, so fn bodies can
+// iterate cache-friendly.
+func For(workers, n int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Dict assigns codes to int64 pairs concurrently: Code(a,b) == Code(c,d)
+// iff (a,b) == (c,d). Codes are unique but neither dense nor deterministic
+// across runs (they depend on insertion interleaving); callers must
+// normalize final labels. Safe for concurrent use.
+type Dict struct {
+	shards []dictShard
+	mask   uint64
+}
+
+type dictShard struct {
+	mu   sync.Mutex
+	m    map[uint64]int64
+	next int64
+	_    [32]byte // padding to reduce false sharing between shards
+}
+
+// NewDict returns a dictionary sized for roughly capacity insertions.
+func NewDict(capacity int) *Dict {
+	nShards := 1
+	for nShards < 4*runtime.NumCPU() {
+		nShards <<= 1
+	}
+	d := &Dict{shards: make([]dictShard, nShards), mask: uint64(nShards - 1)}
+	per := capacity/nShards + 1
+	for i := range d.shards {
+		d.shards[i].m = make(map[uint64]int64, per)
+		d.shards[i].next = int64(i)
+	}
+	return d
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// Code returns the code of the pair (a, b). Components must fit in 32 bits
+// as non-negative values.
+func (d *Dict) Code(a, b int64) int64 {
+	key := uint64(a)<<32 | uint64(uint32(b))
+	sh := &d.shards[mix64(key)&d.mask]
+	sh.mu.Lock()
+	code, ok := sh.m[key]
+	if !ok {
+		code = sh.next
+		sh.next += int64(len(d.shards))
+		sh.m[key] = code
+	}
+	sh.mu.Unlock()
+	return code
+}
+
+// Len returns the number of distinct pairs inserted so far.
+func (d *Dict) Len() int {
+	total := 0
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+		total += len(d.shards[i].m)
+		d.shards[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("default workers must be positive")
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(4, 0, func(lo, hi int) { called = true })
+	For(4, -5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn must not run for empty ranges")
+	}
+}
+
+func TestForSum(t *testing.T) {
+	n := 10000
+	var total int64
+	For(8, n, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&total, local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if total != want {
+		t.Fatalf("sum = %d, want %d", total, want)
+	}
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict(16)
+	a := d.Code(1, 2)
+	b := d.Code(1, 2)
+	c := d.Code(2, 1)
+	if a != b {
+		t.Error("same pair must code equal")
+	}
+	if a == c {
+		t.Error("different pairs must code differently")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictNegativeSecondComponent(t *testing.T) {
+	d := NewDict(16)
+	x := d.Code(5, -1)
+	y := d.Code(5, -2)
+	z := d.Code(5, 0xFFFFFFFF&^0) // large positive
+	_ = z
+	if x == y {
+		t.Error("distinct negative tags collided")
+	}
+	if x == d.Code(5, 1) || y == d.Code(5, 2) {
+		t.Error("negative tags collided with small positives")
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict(1024)
+	n := 20000
+	codes := make([]int64, n)
+	For(8, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			codes[i] = d.Code(int64(i%97), int64(i%31))
+		}
+	})
+	// Verify consistency against a sequential pass.
+	for i := 0; i < n; i++ {
+		if got := d.Code(int64(i%97), int64(i%31)); got != codes[i] {
+			t.Fatalf("code changed between calls at %d", i)
+		}
+	}
+	want := map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		want[[2]int{i % 97, i % 31}] = true
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(want))
+	}
+}
+
+func TestDictProperty(t *testing.T) {
+	f := func(pairs [][2]uint16) bool {
+		d := NewDict(len(pairs))
+		codes := map[[2]uint16]int64{}
+		for _, p := range pairs {
+			c := d.Code(int64(p[0]), int64(p[1]))
+			if prev, ok := codes[p]; ok && prev != c {
+				return false
+			}
+			codes[p] = c
+		}
+		// Distinct pairs must have distinct codes.
+		seen := map[int64][2]uint16{}
+		for p, c := range codes {
+			if other, ok := seen[c]; ok && other != p {
+				return false
+			}
+			seen[c] = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

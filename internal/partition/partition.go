@@ -1,0 +1,151 @@
+// Package partition groups k equal-length strings (the canonical B-label
+// strings of cycles) into equality classes — Algorithm partition of
+// JáJá & Ryu §3.2 (Lemma 3.11: O(log n) time, O(n) operations on the
+// Arbitrary CRCW PRAM, versus the trivial O(1)-time O(nk)-operation
+// all-pairs method).
+//
+// Three implementations are provided:
+//
+//   - PairingPRAM: the default. Pairs of adjacent symbols are replaced by
+//     unique codes from a concurrent-write dictionary (pram.PairCode, the
+//     space-reduced BB table), halving string length per round: O(log l)
+//     rounds and O(n) work for any length l.
+//   - BBTablePRAM: the literal Algorithm partition with an explicit
+//     BB[1..B,1..B] array (power-of-two l only, Theta(B^2) memory) — kept
+//     for the E10 memory ablation and as a fidelity witness.
+//   - AllPairsPRAM: the trivial baseline, O(1) time and O(nk + k^2) work.
+//
+// All return dense class labels: classOf[i] == classOf[j] iff strings i and
+// j are identical, with labels in [0, numClasses).
+package partition
+
+import (
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+// validate panics unless labels holds k rows of length l.
+func validate(labels *pram.Array, k, l int) {
+	if k < 0 || l <= 0 || labels.Len() != k*l {
+		panic("partition: labels must hold k strings of length l")
+	}
+}
+
+// densify converts arbitrary per-string codes into dense class labels
+// [0, numClasses) ordered by code value, via one integer sort.
+func densify(m *pram.Machine, codes *pram.Array, maxCode int64, strat intsort.Strategy) (*pram.Array, int64) {
+	perm := intsort.SortPRAM(m, codes, maxCode, strat)
+	return intsort.RankDistinct(m, codes, perm, 0)
+}
+
+// PairingPRAM partitions the k strings of length l into equality classes by
+// hierarchical pair coding. Symbols must be non-negative.
+func PairingPRAM(m *pram.Machine, labels *pram.Array, k, l int, strat intsort.Strategy) (classOf *pram.Array, numClasses int64) {
+	validate(labels, k, l)
+	if k == 0 {
+		return m.NewArray(0), 0
+	}
+	// Shift symbols +1 so 0 is the blank pad for odd tails.
+	cur := m.NewArray(k * l)
+	m.ParDo(k*l, func(c *pram.Ctx, p int) {
+		c.Write(cur, p, c.Read(labels, p)+1)
+	})
+	lc := l
+	for lc > 1 {
+		half := (lc + 1) / 2
+		a := m.NewArray(k * half)
+		b := m.NewArray(k * half)
+		m.ParDo(k*half, func(c *pram.Ctx, p int) {
+			row, j := p/half, p%half
+			c.Write(a, p, c.Read(cur, row*lc+2*j))
+			if 2*j+1 < lc {
+				c.Write(b, p, c.Read(cur, row*lc+2*j+1))
+			} else {
+				c.Write(b, p, 0)
+			}
+		})
+		codes := pram.PairCode(m, a, b)
+		// Re-shift: codes are >= 0; +1 keeps 0 free as the pad.
+		cur = m.NewArray(k * half)
+		m.ParDo(k*half, func(c *pram.Ctx, p int) {
+			c.Write(cur, p, c.Read(codes, p)+1)
+		})
+		lc = half
+	}
+	return densify(m, cur, pram.TableSize(k*((l+1)/2))+1, strat)
+}
+
+// BBTablePRAM is the literal Algorithm partition: EQ doubling through an
+// explicit two-dimensional table BB[1..B,1..B] written with arbitrary
+// concurrent writes. It requires l to be a power of two and allocates
+// Theta(B^2) memory where B = max(n, maxLabel+1); use only for modest n.
+func BBTablePRAM(m *pram.Machine, labels *pram.Array, k, l int, strat intsort.Strategy) (classOf *pram.Array, numClasses int64) {
+	validate(labels, k, l)
+	if k == 0 {
+		return m.NewArray(0), 0
+	}
+	if l&(l-1) != 0 {
+		panic("partition: BBTablePRAM requires power-of-two cycle length")
+	}
+	n := k * l
+	b := int(pram.ReduceMax(m, labels)) + 1
+	if n > b {
+		b = n
+	}
+	bb := m.NewArray(b * b)
+	eq := m.NewArray(n)
+	pram.Copy(m, eq, labels)
+	for span := 1; span < l; span <<= 1 {
+		step := 2 * span
+		active := n / step // one position per 2*span block per cycle row
+		m.ParDo(active, func(c *pram.Ctx, p int) {
+			d1 := p * step
+			d2 := d1 + span
+			c.Write(bb, int(c.Read(eq, d1)*int64(b)+c.Read(eq, d2)), int64(d1))
+		})
+		m.ParDo(active, func(c *pram.Ctx, p int) {
+			d1 := p * step
+			d2 := d1 + span
+			c.Write(eq, d1, c.Read(bb, int(c.Read(eq, d1)*int64(b)+c.Read(eq, d2))))
+		})
+	}
+	// The starting positions of equivalent cycles now share an EQ label
+	// (Corollary 3.10).
+	codes := m.NewArray(k)
+	m.ParDo(k, func(c *pram.Ctx, p int) {
+		c.Write(codes, p, c.Read(eq, p*l))
+	})
+	return densify(m, codes, int64(b)*int64(b), strat)
+}
+
+// AllPairsPRAM is the trivial O(1)-time partition: compare every pair of
+// strings at every offset concurrently (O(nk + k^2) operations), then read
+// each string's class representative off the equality matrix with the
+// constant-time segmented first-one.
+func AllPairsPRAM(m *pram.Machine, labels *pram.Array, k, l int, strat intsort.Strategy) (classOf *pram.Array, numClasses int64) {
+	validate(labels, k, l)
+	if k == 0 {
+		return m.NewArray(0), 0
+	}
+	neq := m.NewArray(k * k)
+	pram.Fill(m, neq, 0)
+	m.ParDo(k*k*l, func(c *pram.Ctx, p int) {
+		t := p % l
+		pair := p / l
+		i, j := pair/k, pair%k
+		if i >= j {
+			return
+		}
+		if c.Read(labels, i*l+t) != c.Read(labels, j*l+t) {
+			c.Write(neq, i*k+j, 1)
+			c.Write(neq, j*k+i, 1)
+		}
+	})
+	eqFlags := m.NewArray(k * k)
+	m.ParDo(k*k, func(c *pram.Ctx, p int) {
+		c.Write(eqFlags, p, 1-c.Read(neq, p))
+	})
+	// Row i's first equal column is its representative (always <= i).
+	rep := pram.SegmentedFirstOne(m, eqFlags, k)
+	return densify(m, rep, int64(k), strat)
+}

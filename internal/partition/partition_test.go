@@ -1,0 +1,256 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+func newMachine() *pram.Machine { return pram.New(pram.ArbitraryCRCW) }
+
+// refClasses computes dense class labels by direct comparison, ordered to
+// match densify (by the algorithm's internal code order is not specified,
+// so we compare partitions rather than labels).
+func refPartition(flat []int, k, l int) []int {
+	classes := make([]int, k)
+	var reps [][]int
+	for i := 0; i < k; i++ {
+		row := flat[i*l : (i+1)*l]
+		found := -1
+		for ci, rep := range reps {
+			same := true
+			for t := range row {
+				if rep[t] != row[t] {
+					same = false
+					break
+				}
+			}
+			if same {
+				found = ci
+				break
+			}
+		}
+		if found == -1 {
+			found = len(reps)
+			reps = append(reps, row)
+		}
+		classes[i] = found
+	}
+	return classes
+}
+
+// samePartition checks two labelings induce identical partitions.
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	rev := map[int]int{}
+	for i := range a {
+		if v, ok := fwd[a[i]]; ok && v != b[i] {
+			return false
+		}
+		if v, ok := rev[b[i]]; ok && v != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+type method func(m *pram.Machine, labels *pram.Array, k, l int, strat intsort.Strategy) (*pram.Array, int64)
+
+func methods(l int) map[string]method {
+	ms := map[string]method{
+		"pairing":  PairingPRAM,
+		"allpairs": AllPairsPRAM,
+	}
+	if l > 0 && l&(l-1) == 0 {
+		ms["bbtable"] = BBTablePRAM
+	}
+	return ms
+}
+
+func checkAll(t *testing.T, flat []int, k, l int) {
+	t.Helper()
+	want := refPartition(flat, k, l)
+	wantClasses := 0
+	for _, c := range want {
+		if c+1 > wantClasses {
+			wantClasses = c + 1
+		}
+	}
+	for name, fn := range methods(l) {
+		m := newMachine()
+		labels := m.NewArrayFromInts(flat)
+		classOf, num := fn(m, labels, k, l, intsort.Modeled)
+		if int(num) != wantClasses {
+			t.Fatalf("%s k=%d l=%d: numClasses = %d, want %d (flat=%v)", name, k, l, num, wantClasses, flat)
+		}
+		if !samePartition(classOf.Ints(), want) {
+			t.Fatalf("%s k=%d l=%d: classes %v not equivalent to %v (flat=%v)", name, k, l, classOf.Ints(), want, flat)
+		}
+		// Labels must be dense in [0, num).
+		for _, c := range classOf.Ints() {
+			if c < 0 || int64(c) >= num {
+				t.Fatalf("%s: label %d not dense in [0,%d)", name, c, num)
+			}
+		}
+	}
+}
+
+func TestPartitionSmall(t *testing.T) {
+	cases := []struct {
+		flat []int
+		k, l int
+	}{
+		{[]int{1, 2, 1, 2}, 2, 2}, // identical
+		{[]int{1, 2, 2, 1}, 2, 2}, // distinct
+		{[]int{5}, 1, 1},          // single
+		{[]int{1, 1, 2}, 3, 1},    // unit strings
+		{[]int{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 5}, 3, 4},
+		{[]int{0, 0, 0, 0, 0, 0}, 3, 2}, // all same
+		{[]int{7, 7, 7}, 1, 3},          // one string
+	}
+	for _, tc := range cases {
+		checkAll(t, tc.flat, tc.k, tc.l)
+	}
+}
+
+func TestPartitionPaperExample31(t *testing.T) {
+	// Example 3.1: cycles C and D both have smallest repeating prefix
+	// equivalent to (1,2,1,3); after rotation to the m.s.p. both canonical
+	// strings are (1,2,1,3), so the two cycles are equivalent.
+	flat := []int{1, 2, 1, 3, 1, 2, 1, 3}
+	checkAll(t, flat, 2, 4)
+	m := newMachine()
+	labels := m.NewArrayFromInts(flat)
+	_, num := PairingPRAM(m, labels, 2, 4, intsort.Modeled)
+	if num != 1 {
+		t.Fatalf("cycles C and D must be equivalent; got %d classes", num)
+	}
+}
+
+func TestPartitionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		k := 1 + rng.Intn(12)
+		l := 1 + rng.Intn(9)
+		sigma := 1 + rng.Intn(3)
+		flat := make([]int, k*l)
+		for i := range flat {
+			flat[i] = rng.Intn(sigma)
+		}
+		checkAll(t, flat, k, l)
+	}
+}
+
+func TestPartitionOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, l := range []int{3, 5, 7, 9, 11, 13} {
+		k := 6
+		flat := make([]int, k*l)
+		for i := range flat {
+			flat[i] = rng.Intn(2)
+		}
+		checkAll(t, flat, k, l)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(raw []uint8, lPick uint8) bool {
+		l := int(lPick)%6 + 1
+		k := len(raw) / l
+		if k == 0 {
+			return true
+		}
+		flat := make([]int, k*l)
+		for i := range flat {
+			flat[i] = int(raw[i] % 4)
+		}
+		m := newMachine()
+		labels := m.NewArrayFromInts(flat)
+		classOf, _ := PairingPRAM(m, labels, k, l, intsort.Modeled)
+		return samePartition(classOf.Ints(), refPartition(flat, k, l))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairingWorkLinearVsAllPairsQuadratic(t *testing.T) {
+	// Lemma 3.11: pairing does O(n) work; all-pairs does O(nk). With
+	// n fixed and k growing, the gap must widen.
+	l := 8
+	makeFlat := func(k int) []int {
+		rng := rand.New(rand.NewSource(33))
+		flat := make([]int, k*l)
+		for i := range flat {
+			flat[i] = rng.Intn(3)
+		}
+		return flat
+	}
+	work := func(fn method, k int) int64 {
+		m := newMachine()
+		labels := m.NewArrayFromInts(makeFlat(k))
+		m.ResetStats()
+		fn(m, labels, k, l, intsort.Modeled)
+		return m.Stats().Work
+	}
+	k1, k2 := 64, 512
+	growPairing := float64(work(PairingPRAM, k2)) / float64(work(PairingPRAM, k1))
+	growAllPairs := float64(work(AllPairsPRAM, k2)) / float64(work(AllPairsPRAM, k1))
+	if growAllPairs < 1.5*growPairing {
+		t.Errorf("all-pairs growth %.1f should far exceed pairing growth %.1f (quadratic vs linear in k)",
+			growAllPairs, growPairing)
+	}
+}
+
+func TestBBTableRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	m := newMachine()
+	labels := m.NewArrayFromInts([]int{1, 2, 3, 1, 2, 3})
+	BBTablePRAM(m, labels, 2, 3, intsort.Modeled)
+}
+
+func TestBBTableMemoryQuadratic(t *testing.T) {
+	// The E10 ablation claim: the literal BB table allocates Theta(n^2)
+	// cells while pairing stays linear.
+	flat := make([]int, 32*4)
+	for i := range flat {
+		flat[i] = i % 3
+	}
+	mBB := newMachine()
+	labelsBB := mBB.NewArrayFromInts(flat)
+	BBTablePRAM(mBB, labelsBB, 32, 4, intsort.Modeled)
+	cellsBB := mBB.Stats().Cells
+
+	mP := newMachine()
+	labelsP := mP.NewArrayFromInts(flat)
+	PairingPRAM(mP, labelsP, 32, 4, intsort.Modeled)
+	cellsP := mP.Stats().Cells
+
+	if cellsBB < 128*128 {
+		t.Errorf("BB table cells = %d, expected at least n^2 = %d", cellsBB, 128*128)
+	}
+	if cellsP >= cellsBB/4 {
+		t.Errorf("pairing cells = %d should be far below BB cells = %d", cellsP, cellsBB)
+	}
+}
+
+func TestPartitionEmptyK(t *testing.T) {
+	m := newMachine()
+	labels := m.NewArray(0)
+	classOf, num := PairingPRAM(m, labels, 0, 1, intsort.Modeled)
+	if classOf.Len() != 0 || num != 0 {
+		t.Fatal("k=0 should yield empty classes")
+	}
+}

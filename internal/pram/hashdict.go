@@ -1,0 +1,100 @@
+package pram
+
+// Concurrent-write dictionary: the PRAM realization of the BB[1..n, 1..n]
+// table of Algorithm partition (JáJá & Ryu §3.2). The paper's table assigns
+// a unique representative to every distinct pair (a, b) in O(1) time by
+// letting all processors holding that pair write their position into
+// BB[a][b] and read back the single arbitrary winner; the Remark notes the
+// O(n^2) space can be reduced. PairCode implements the reduction as an
+// open-addressing hash table driven entirely by arbitrary concurrent
+// writes: each unresolved processor probes a deterministic slot sequence,
+// writes its key, reads back the winner, and stops when its own key owns a
+// slot. Expected O(1) probe rounds, O(n) work, O(n) cells.
+
+const pairCodeMaxAttempts = 64
+
+// PairCode assigns to every index i a code such that codes[i] == codes[j]
+// iff (a[i], b[i]) == (a[j], b[j]). Codes are slot indices in the internal
+// table, so they lie in [0, TableSize(n)) and are NOT dense; use
+// RankDistinct-style renaming when density matters. Components must be
+// non-negative and fit in 31 bits.
+func PairCode(m *Machine, a, b *Array) *Array {
+	if a.Len() != b.Len() {
+		panic("pram: PairCode length mismatch")
+	}
+	n := a.Len()
+	codes := m.NewArray(n)
+	if n == 0 {
+		return codes
+	}
+	size := tableSizeFor(n)
+
+	// Slots hold key+1 (0 = empty). Keys pack the pair into one word.
+	slots := m.NewArray(size)
+	Fill(m, slots, 0)
+	keys := m.NewArray(n)
+	m.ParDo(n, func(c *Ctx, p int) {
+		x, y := c.Read(a, p), c.Read(b, p)
+		if x < 0 || y < 0 || x >= 1<<31 || y >= 1<<31 {
+			panic("pram: PairCode component out of range")
+		}
+		c.Write(keys, p, x<<31|y)
+	})
+	Fill(m, codes, -1)
+
+	// active[p] = current probe attempt, or -1 when resolved.
+	attempt := m.NewArray(n)
+	Fill(m, attempt, 0)
+	for round := 0; round < pairCodeMaxAttempts; round++ {
+		// Write phase: every unresolved processor claims its slot if it is
+		// still empty (slots are write-once so earlier owners are safe).
+		m.ParDo(n, func(c *Ctx, p int) {
+			at := c.Read(attempt, p)
+			if at < 0 {
+				return
+			}
+			key := c.Read(keys, p)
+			slot := probeSlot(key, at, size)
+			if c.Read(slots, slot) == 0 {
+				c.Write(slots, slot, key+1)
+			}
+		})
+		// Read phase: check ownership; same-key processors always agree.
+		unresolved := m.NewArray(1)
+		m.ParDo(n, func(c *Ctx, p int) {
+			at := c.Read(attempt, p)
+			if at < 0 {
+				return
+			}
+			key := c.Read(keys, p)
+			slot := probeSlot(key, at, size)
+			if c.Read(slots, slot) == key+1 {
+				c.Write(codes, p, int64(slot))
+				c.Write(attempt, p, -1)
+				return
+			}
+			c.Write(attempt, p, at+1)
+			c.Write(unresolved, 0, 1)
+		})
+		if unresolved.At(0) == 0 {
+			return codes
+		}
+	}
+	panic("pram: PairCode failed to place all pairs (table too loaded)")
+}
+
+// TableSize reports the code upper bound PairCode uses for n pairs.
+func TableSize(n int) int64 { return int64(tableSizeFor(n)) }
+
+func tableSizeFor(n int) int {
+	size := 16
+	for size < 4*n {
+		size <<= 1
+	}
+	return size
+}
+
+func probeSlot(key int64, attempt int64, size int) int {
+	h := splitmix64(uint64(key)*0x9e3779b97f4a7c15 + uint64(attempt)*0xda942042e4dd58b5)
+	return int(h & uint64(size-1))
+}

@@ -1,0 +1,157 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkPairCode(t *testing.T, as, bs []int) {
+	t.Helper()
+	m := New(ArbitraryCRCW)
+	a := m.NewArrayFromInts(as)
+	b := m.NewArrayFromInts(bs)
+	codes := PairCode(m, a, b).Slice()
+	seen := map[[2]int]int64{}
+	usedBy := map[int64][2]int{}
+	for i := range as {
+		pair := [2]int{as[i], bs[i]}
+		if prev, ok := seen[pair]; ok {
+			if codes[i] != prev {
+				t.Fatalf("pair %v got codes %d and %d", pair, prev, codes[i])
+			}
+		} else {
+			seen[pair] = codes[i]
+			if owner, clash := usedBy[codes[i]]; clash {
+				t.Fatalf("distinct pairs %v and %v share code %d", owner, pair, codes[i])
+			}
+			usedBy[codes[i]] = pair
+		}
+		if codes[i] < 0 || codes[i] >= TableSize(len(as)) {
+			t.Fatalf("code %d out of range [0,%d)", codes[i], TableSize(len(as)))
+		}
+	}
+}
+
+func TestPairCodeBasic(t *testing.T) {
+	checkPairCode(t,
+		[]int{1, 2, 1, 2, 3, 1},
+		[]int{5, 5, 5, 6, 7, 5})
+}
+
+func TestPairCodeAllSame(t *testing.T) {
+	n := 500
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := range as {
+		as[i] = 7
+		bs[i] = 9
+	}
+	checkPairCode(t, as, bs)
+}
+
+func TestPairCodeAllDistinct(t *testing.T) {
+	n := 2000
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := range as {
+		as[i] = i
+		bs[i] = n - i
+	}
+	checkPairCode(t, as, bs)
+}
+
+func TestPairCodeEmpty(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	if got := PairCode(m, m.NewArray(0), m.NewArray(0)); got.Len() != 0 {
+		t.Fatal("empty PairCode should be empty")
+	}
+}
+
+func TestPairCodeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(1000)
+		vals := 1 + rng.Intn(50)
+		as := make([]int, n)
+		bs := make([]int, n)
+		for i := range as {
+			as[i] = rng.Intn(vals)
+			bs[i] = rng.Intn(vals)
+		}
+		checkPairCode(t, as, bs)
+	}
+}
+
+func TestPairCodeLargeComponents(t *testing.T) {
+	checkPairCode(t,
+		[]int{1 << 30, 1<<30 - 1, 1 << 30},
+		[]int{1<<31 - 1, 0, 1<<31 - 1})
+}
+
+func TestPairCodeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		n := len(raw)
+		as := make([]int, n)
+		bs := make([]int, n)
+		for i, v := range raw {
+			as[i] = int(v % 64)
+			bs[i] = int(v / 64 % 64)
+		}
+		m := New(ArbitraryCRCW)
+		codes := PairCode(m, m.NewArrayFromInts(as), m.NewArrayFromInts(bs)).Slice()
+		for i := range as {
+			for j := range as {
+				same := as[i] == as[j] && bs[i] == bs[j]
+				if same != (codes[i] == codes[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairCodeLinearWorkConstantRounds(t *testing.T) {
+	n := 1 << 13
+	rng := rand.New(rand.NewSource(14))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := range as {
+		as[i] = rng.Intn(n)
+		bs[i] = rng.Intn(n)
+	}
+	m := New(ArbitraryCRCW)
+	a := m.NewArrayFromInts(as)
+	b := m.NewArrayFromInts(bs)
+	m.ResetStats()
+	PairCode(m, a, b)
+	s := m.Stats()
+	if s.Rounds > 40 {
+		t.Errorf("PairCode rounds = %d, want expected O(1) probing (few dozen)", s.Rounds)
+	}
+	if s.Work > int64(30*n) {
+		t.Errorf("PairCode work = %d, want O(n) = %d", s.Work, 30*n)
+	}
+}
+
+func TestPairCodeDeterministic(t *testing.T) {
+	as := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	bs := []int{2, 7, 1, 8, 2, 8, 1, 8}
+	run := func(workers int) []int64 {
+		m := New(ArbitraryCRCW, WithWorkers(workers))
+		return PairCode(m, m.NewArrayFromInts(as), m.NewArrayFromInts(bs)).Slice()
+	}
+	base := run(1)
+	for w := 2; w <= 8; w *= 2 {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: codes differ at %d", w, i)
+			}
+		}
+	}
+}

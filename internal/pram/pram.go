@@ -1,0 +1,505 @@
+// Package pram implements a deterministic, instrumented simulator of the
+// Parallel Random Access Machine in the five classical variants (EREW, CREW,
+// and the Common, Arbitrary and Priority CRCW models).
+//
+// The simulator executes algorithms as a sequence of synchronous steps. A
+// step is issued with (*Machine).ParDo: every virtual processor reads shared
+// memory as it was at the beginning of the step, computes, and issues writes
+// that are buffered and applied at the end of the step under the machine's
+// write-conflict rule. This read-phase/write-phase discipline is exactly the
+// textbook PRAM step (JáJá, "An Introduction to Parallel Algorithms", §1.3),
+// and it makes every execution deterministic and independent of the host
+// scheduler, including concurrent-write outcomes in the Arbitrary model
+// (the winner is chosen by a seeded pseudo-random rule).
+//
+// The machine counts rounds (parallel time) and operations (work: the number
+// of virtual processors activated, plus explicit charges), which are the two
+// quantities all bounds in JáJá & Ryu (TCS 129, 1994) are stated in.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Model selects the memory-access discipline of the machine.
+type Model uint8
+
+// The five classical PRAM variants, from weakest to strongest.
+const (
+	// EREW forbids both concurrent reads and concurrent writes.
+	EREW Model = iota
+	// CREW allows concurrent reads, forbids concurrent writes.
+	CREW
+	// CommonCRCW allows concurrent writes only when all writers agree on
+	// the value.
+	CommonCRCW
+	// ArbitraryCRCW lets an arbitrary single writer succeed on conflict.
+	// The simulator picks the winner by a seeded hash so runs replay
+	// identically, but algorithms must not rely on which writer wins.
+	ArbitraryCRCW
+	// PriorityCRCW lets the lowest-numbered processor win on conflict.
+	PriorityCRCW
+)
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CommonCRCW:
+		return "Common CRCW"
+	case ArbitraryCRCW:
+		return "Arbitrary CRCW"
+	case PriorityCRCW:
+		return "Priority CRCW"
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// Stats accumulates the complexity measures of an execution.
+type Stats struct {
+	// Rounds is the number of synchronous parallel steps executed.
+	Rounds int64
+	// Work is the total number of operations: one per activated virtual
+	// processor per step, plus any explicit Charge calls.
+	Work int64
+	// MaxProcs is the largest number of virtual processors activated in
+	// any single step (the machine size a real PRAM would need).
+	MaxProcs int64
+	// Reads and Writes count shared-memory accesses.
+	Reads, Writes int64
+	// Cells is the high-water mark of allocated shared memory words.
+	Cells int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.Work += other.Work
+	if other.MaxProcs > s.MaxProcs {
+		s.MaxProcs = other.MaxProcs
+	}
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	if other.Cells > s.Cells {
+		s.Cells = other.Cells
+	}
+}
+
+// Violation describes a memory-access conflict forbidden by the machine
+// model. It is reported only when the machine was built WithStrict.
+type Violation struct {
+	Round int64
+	Addr  int
+	Kind  string // "concurrent-read", "concurrent-write", "common-value"
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("pram: %s violation at address %d in round %d", v.Kind, v.Addr, v.Round)
+}
+
+// Machine is a simulated PRAM. Create one with New; the zero value is not
+// usable. A Machine is safe for use by a single algorithm at a time; the
+// internal goroutine pool is managed per step.
+type Machine struct {
+	model   Model
+	seed    uint64
+	workers int
+	strict  bool
+
+	mem []int64
+
+	stats Stats
+
+	// Write-conflict resolution scratch, sized with mem.
+	claimRound []int64 // round+1 when addr was last claimed (0 = never)
+	claimKey   []uint64
+	claimVal   []int64
+	claimProc  []int64
+
+	// Strict-mode read tracking scratch.
+	readRound []int64
+
+	touched   []int // addresses written this round
+	violation *Violation
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithSeed fixes the seed used to resolve Arbitrary CRCW write conflicts.
+// Different seeds exercise different (but each deterministic) winners.
+func WithSeed(seed uint64) Option {
+	return func(m *Machine) { m.seed = seed }
+}
+
+// WithWorkers sets the number of host goroutines used to execute the virtual
+// processors of each step. It defaults to runtime.NumCPU and never changes
+// results, only host wall-clock.
+func WithWorkers(w int) Option {
+	return func(m *Machine) {
+		if w > 0 {
+			m.workers = w
+		}
+	}
+}
+
+// WithStrict makes the machine detect and report model violations
+// (concurrent reads on EREW, concurrent writes on EREW/CREW, disagreeing
+// concurrent writes on Common CRCW). Violations surface via Err and also
+// panic at the end of the offending step, since continuing would compute
+// under a stronger model than requested.
+func WithStrict() Option {
+	return func(m *Machine) { m.strict = true }
+}
+
+// New returns a machine of the given model with no allocated memory.
+func New(model Model, opts ...Option) *Machine {
+	m := &Machine{
+		model:   model,
+		seed:    0x9e3779b97f4a7c15,
+		workers: runtime.NumCPU(),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Model reports the machine's memory-access model.
+func (m *Machine) Model() Model { return m.model }
+
+// Stats returns the accumulated complexity counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the complexity counters (memory contents are kept).
+func (m *Machine) ResetStats() { m.stats = Stats{}; m.stats.Cells = int64(len(m.mem)) }
+
+// ChargeModel adds rounds and work to the counters without executing steps.
+// It is the escape hatch for subroutines that the simulator replaces with a
+// host-side computation plus the published cost of the cited algorithm
+// (e.g. the Bhatt et al. integer sorter used as a black box by JáJá & Ryu).
+// Every use is documented in DESIGN.md.
+func (m *Machine) ChargeModel(rounds, work int64) {
+	m.stats.Rounds += rounds
+	m.stats.Work += work
+}
+
+// Err returns the first model violation detected in strict mode, or nil.
+func (m *Machine) Err() error {
+	if m.violation == nil {
+		return nil
+	}
+	return m.violation
+}
+
+// Array is a handle to a contiguous block of shared memory words.
+type Array struct {
+	m   *Machine
+	off int
+	n   int
+}
+
+// NewArray allocates n shared-memory words initialised to zero.
+func (m *Machine) NewArray(n int) *Array {
+	if n < 0 {
+		panic("pram: negative array length")
+	}
+	off := len(m.mem)
+	m.mem = append(m.mem, make([]int64, n)...)
+	m.claimRound = append(m.claimRound, make([]int64, n)...)
+	m.claimKey = append(m.claimKey, make([]uint64, n)...)
+	m.claimVal = append(m.claimVal, make([]int64, n)...)
+	m.claimProc = append(m.claimProc, make([]int64, n)...)
+	if m.strict {
+		m.readRound = append(m.readRound, make([]int64, n)...)
+	}
+	if c := int64(len(m.mem)); c > m.stats.Cells {
+		m.stats.Cells = c
+	}
+	return &Array{m: m, off: off, n: n}
+}
+
+// NewArrayFrom allocates an array holding a copy of src. The copy is a host
+// operation and is not charged to the machine; use it to load inputs.
+func (m *Machine) NewArrayFrom(src []int64) *Array {
+	a := m.NewArray(len(src))
+	copy(m.mem[a.off:a.off+a.n], src)
+	return a
+}
+
+// NewArrayFromInts is NewArrayFrom for int slices.
+func (m *Machine) NewArrayFromInts(src []int) *Array {
+	a := m.NewArray(len(src))
+	dst := m.mem[a.off : a.off+a.n]
+	for i, v := range src {
+		dst[i] = int64(v)
+	}
+	return a
+}
+
+// Len returns the number of words in the array.
+func (a *Array) Len() int { return a.n }
+
+// Slice returns a host-side copy of the array contents. Not charged; use it
+// to extract outputs.
+func (a *Array) Slice() []int64 {
+	out := make([]int64, a.n)
+	copy(out, a.m.mem[a.off:a.off+a.n])
+	return out
+}
+
+// Ints returns a host-side copy of the array contents as ints.
+func (a *Array) Ints() []int {
+	out := make([]int, a.n)
+	for i, v := range a.m.mem[a.off : a.off+a.n] {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Load copies src into the array outside any step (host operation, uncharged).
+func (a *Array) Load(src []int64) {
+	if len(src) != a.n {
+		panic("pram: Load length mismatch")
+	}
+	copy(a.m.mem[a.off:a.off+a.n], src)
+}
+
+// At reads a single word outside any step (host operation, uncharged). It is
+// intended for extracting scalar results between steps.
+func (a *Array) At(i int) int64 {
+	a.boundsCheck(i)
+	return a.m.mem[a.off+i]
+}
+
+// SetHost writes a single word outside any step (host operation, uncharged).
+// It is intended for loading scalar parameters between steps.
+func (a *Array) SetHost(i int, v int64) {
+	a.boundsCheck(i)
+	a.m.mem[a.off+i] = v
+}
+
+func (a *Array) boundsCheck(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("pram: index %d out of range [0,%d)", i, a.n))
+	}
+}
+
+// Ctx is the view a single virtual processor has of the machine during one
+// step. Reads observe the memory as of the beginning of the step; writes are
+// buffered and applied when the step ends.
+type Ctx struct {
+	proc  int
+	w     *stepWorker
+	reads int64
+}
+
+// Proc returns the index of this virtual processor within the current step.
+func (c *Ctx) Proc() int { return c.proc }
+
+// Read returns a[i] as of the beginning of the current step.
+func (c *Ctx) Read(a *Array, i int) int64 {
+	a.boundsCheck(i)
+	c.reads++
+	addr := a.off + i
+	if c.w.m.strict && c.w.m.model == EREW {
+		c.w.readAddrs = append(c.w.readAddrs, addr)
+	}
+	return c.w.m.mem[addr]
+}
+
+// Write schedules a[i] = v at the end of the current step, subject to the
+// machine's write-conflict rule.
+func (c *Ctx) Write(a *Array, i int, v int64) {
+	a.boundsCheck(i)
+	c.w.writes = append(c.w.writes, writeRec{addr: a.off + i, val: v, proc: int64(c.proc)})
+}
+
+// Charge adds ops extra units of work to the current step, for processor
+// programs whose local computation exceeds O(1).
+func (c *Ctx) Charge(ops int64) {
+	c.w.charge += ops
+}
+
+type writeRec struct {
+	addr int
+	val  int64
+	proc int64
+}
+
+type stepWorker struct {
+	m         *Machine
+	writes    []writeRec
+	readAddrs []int
+	charge    int64
+	reads     int64
+}
+
+var workerPool = sync.Pool{New: func() any { return &stepWorker{} }}
+
+// splitmix64 provides the deterministic tie-break keys for Arbitrary CRCW.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ParDo executes one synchronous step with nprocs virtual processors, p
+// ranging over [0, nprocs). It charges one round and nprocs operations
+// (plus explicit charges). nprocs == 0 is a no-op that charges nothing.
+func (m *Machine) ParDo(nprocs int, body func(c *Ctx, p int)) {
+	if nprocs < 0 {
+		panic("pram: negative processor count")
+	}
+	if nprocs == 0 {
+		return
+	}
+	m.stats.Rounds++
+	m.stats.Work += int64(nprocs)
+	if int64(nprocs) > m.stats.MaxProcs {
+		m.stats.MaxProcs = int64(nprocs)
+	}
+
+	nw := m.workers
+	if nw > nprocs {
+		nw = nprocs
+	}
+	workers := make([]*stepWorker, nw)
+	if nw == 1 {
+		w := workerPool.Get().(*stepWorker)
+		w.reset(m)
+		workers[0] = w
+		c := Ctx{w: w}
+		for p := 0; p < nprocs; p++ {
+			c.proc = p
+			body(&c, p)
+		}
+		w.reads = c.reads
+	} else {
+		var wg sync.WaitGroup
+		chunk := (nprocs + nw - 1) / nw
+		for wi := 0; wi < nw; wi++ {
+			lo := wi * chunk
+			hi := lo + chunk
+			if hi > nprocs {
+				hi = nprocs
+			}
+			w := workerPool.Get().(*stepWorker)
+			w.reset(m)
+			workers[wi] = w
+			wg.Add(1)
+			go func(w *stepWorker, lo, hi int) {
+				defer wg.Done()
+				c := Ctx{w: w}
+				for p := lo; p < hi; p++ {
+					c.proc = p
+					body(&c, p)
+				}
+				w.reads = c.reads
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	m.commit(workers)
+}
+
+func (w *stepWorker) reset(m *Machine) {
+	w.m = m
+	w.writes = w.writes[:0]
+	w.readAddrs = w.readAddrs[:0]
+	w.charge = 0
+	w.reads = 0
+}
+
+// commit applies buffered writes under the machine's conflict rule. It runs
+// on the host after the step barrier; the outcome depends only on the write
+// set and the seed, never on goroutine scheduling.
+func (m *Machine) commit(workers []*stepWorker) {
+	round := m.stats.Rounds
+	for _, w := range workers {
+		m.stats.Work += w.charge
+		m.stats.Reads += w.reads
+		if m.strict && m.model == EREW {
+			for _, addr := range w.readAddrs {
+				if m.readRound[addr] == round {
+					m.fail(&Violation{Round: round, Addr: addr, Kind: "concurrent-read"})
+				}
+				m.readRound[addr] = round
+			}
+		}
+	}
+	for _, w := range workers {
+		m.stats.Writes += int64(len(w.writes))
+		for _, rec := range w.writes {
+			if m.claimRound[rec.addr] != round {
+				m.claimRound[rec.addr] = round
+				m.claimVal[rec.addr] = rec.val
+				m.claimProc[rec.addr] = rec.proc
+				m.claimKey[rec.addr] = splitmix64(m.seed ^ uint64(round)<<32 ^ uint64(rec.addr)<<1 ^ uint64(rec.proc))
+				m.touched = append(m.touched, rec.addr)
+				continue
+			}
+			// Conflict.
+			switch m.model {
+			case EREW, CREW:
+				if m.strict {
+					m.fail(&Violation{Round: round, Addr: rec.addr, Kind: "concurrent-write"})
+				}
+				// Non-strict: fall through to arbitrary resolution.
+				key := splitmix64(m.seed ^ uint64(round)<<32 ^ uint64(rec.addr)<<1 ^ uint64(rec.proc))
+				if key < m.claimKey[rec.addr] {
+					m.claimKey[rec.addr] = key
+					m.claimVal[rec.addr] = rec.val
+					m.claimProc[rec.addr] = rec.proc
+				}
+			case CommonCRCW:
+				if rec.val != m.claimVal[rec.addr] {
+					if m.strict {
+						m.fail(&Violation{Round: round, Addr: rec.addr, Kind: "common-value"})
+					}
+					// Non-strict: keep deterministic arbitrary choice.
+					key := splitmix64(m.seed ^ uint64(round)<<32 ^ uint64(rec.addr)<<1 ^ uint64(rec.proc))
+					if key < m.claimKey[rec.addr] {
+						m.claimKey[rec.addr] = key
+						m.claimVal[rec.addr] = rec.val
+						m.claimProc[rec.addr] = rec.proc
+					}
+				}
+			case ArbitraryCRCW:
+				key := splitmix64(m.seed ^ uint64(round)<<32 ^ uint64(rec.addr)<<1 ^ uint64(rec.proc))
+				if key < m.claimKey[rec.addr] {
+					m.claimKey[rec.addr] = key
+					m.claimVal[rec.addr] = rec.val
+					m.claimProc[rec.addr] = rec.proc
+				}
+			case PriorityCRCW:
+				if rec.proc < m.claimProc[rec.addr] {
+					m.claimProc[rec.addr] = rec.proc
+					m.claimVal[rec.addr] = rec.val
+				}
+			}
+		}
+	}
+	for _, addr := range m.touched {
+		m.mem[addr] = m.claimVal[addr]
+	}
+	m.touched = m.touched[:0]
+	for _, w := range workers {
+		workerPool.Put(w)
+	}
+}
+
+func (m *Machine) fail(v *Violation) {
+	if m.violation == nil {
+		m.violation = v
+	}
+	panic(v)
+}

@@ -1,0 +1,525 @@
+package pram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParDoBasicWrite(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArray(10)
+	m.ParDo(10, func(c *Ctx, p int) { c.Write(a, p, int64(p*p)) })
+	for i, v := range a.Ints() {
+		if v != i*i {
+			t.Fatalf("a[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParDoSnapshotReads(t *testing.T) {
+	// Within a step every processor must read the pre-step value, so a
+	// parallel shift does not cascade.
+	m := New(ArbitraryCRCW)
+	a := m.NewArrayFromInts([]int{1, 2, 3, 4, 5})
+	m.ParDo(4, func(c *Ctx, p int) { c.Write(a, p, c.Read(a, p+1)) })
+	got := a.Ints()
+	want := []int{2, 3, 4, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after shift a = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParDoZeroProcs(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	m.ParDo(0, func(c *Ctx, p int) { t.Fatal("body must not run") })
+	if s := m.Stats(); s.Rounds != 0 || s.Work != 0 {
+		t.Fatalf("zero-proc step charged rounds=%d work=%d", s.Rounds, s.Work)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArray(8)
+	m.ParDo(8, func(c *Ctx, p int) { c.Write(a, p, 1) })
+	m.ParDo(4, func(c *Ctx, p int) { _ = c.Read(a, p); c.Charge(3) })
+	s := m.Stats()
+	if s.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", s.Rounds)
+	}
+	if s.Work != 8+4+4*3 {
+		t.Errorf("Work = %d, want %d", s.Work, 8+4+12)
+	}
+	if s.MaxProcs != 8 {
+		t.Errorf("MaxProcs = %d, want 8", s.MaxProcs)
+	}
+	if s.Writes != 8 {
+		t.Errorf("Writes = %d, want 8", s.Writes)
+	}
+	if s.Reads != 4 {
+		t.Errorf("Reads = %d, want 4", s.Reads)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rounds: 3, Work: 10, MaxProcs: 4, Reads: 1, Writes: 2, Cells: 100}
+	b := Stats{Rounds: 2, Work: 5, MaxProcs: 9, Reads: 3, Writes: 1, Cells: 50}
+	a.Add(b)
+	if a.Rounds != 5 || a.Work != 15 || a.MaxProcs != 9 || a.Reads != 4 || a.Writes != 3 || a.Cells != 100 {
+		t.Fatalf("Stats.Add wrong: %+v", a)
+	}
+}
+
+func TestArbitraryWriteDeterminism(t *testing.T) {
+	run := func(seed uint64, workers int) int64 {
+		m := New(ArbitraryCRCW, WithSeed(seed), WithWorkers(workers))
+		a := m.NewArray(1)
+		m.ParDo(64, func(c *Ctx, p int) { c.Write(a, 0, int64(p)) })
+		return a.At(0)
+	}
+	base := run(7, 1)
+	for workers := 1; workers <= 8; workers++ {
+		if got := run(7, workers); got != base {
+			t.Fatalf("workers=%d: winner %d, want %d (schedule-dependent outcome)", workers, got, base)
+		}
+	}
+	// A different seed should usually give a different winner; check it is
+	// at least a valid one.
+	other := run(99, 4)
+	if other < 0 || other >= 64 {
+		t.Fatalf("winner %d out of range", other)
+	}
+}
+
+func TestPriorityWriteLowestProcWins(t *testing.T) {
+	m := New(PriorityCRCW)
+	a := m.NewArray(1)
+	a.SetHost(0, -1)
+	m.ParDo(100, func(c *Ctx, p int) {
+		if p >= 17 {
+			c.Write(a, 0, int64(p))
+		}
+	})
+	if got := a.At(0); got != 17 {
+		t.Fatalf("priority winner = %d, want 17", got)
+	}
+}
+
+func TestCommonWriteAgreement(t *testing.T) {
+	m := New(CommonCRCW, WithStrict())
+	a := m.NewArray(1)
+	m.ParDo(50, func(c *Ctx, p int) { c.Write(a, 0, 42) })
+	if got := a.At(0); got != 42 {
+		t.Fatalf("common write = %d, want 42", got)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestCommonWriteDisagreementStrict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on disagreeing common write")
+		}
+	}()
+	m := New(CommonCRCW, WithStrict())
+	a := m.NewArray(1)
+	m.ParDo(2, func(c *Ctx, p int) { c.Write(a, 0, int64(p)) })
+}
+
+func TestCREWConcurrentWriteStrict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on CREW concurrent write")
+		}
+	}()
+	m := New(CREW, WithStrict())
+	a := m.NewArray(1)
+	m.ParDo(2, func(c *Ctx, p int) { c.Write(a, 0, 7) })
+}
+
+func TestEREWConcurrentReadStrict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on EREW concurrent read")
+		}
+	}()
+	m := New(EREW, WithStrict(), WithWorkers(1))
+	a := m.NewArray(2)
+	m.ParDo(2, func(c *Ctx, p int) { _ = c.Read(a, 0) })
+}
+
+func TestEREWExclusiveAccessOK(t *testing.T) {
+	m := New(EREW, WithStrict(), WithWorkers(3))
+	a := m.NewArray(16)
+	b := m.NewArray(16)
+	m.ParDo(16, func(c *Ctx, p int) { c.Write(a, p, int64(p)) })
+	m.ParDo(16, func(c *Ctx, p int) { c.Write(b, p, c.Read(a, p)*2) })
+	if err := m.Err(); err != nil {
+		t.Fatalf("violation on exclusive access: %v", err)
+	}
+	for i, v := range b.Ints() {
+		if v != 2*i {
+			t.Fatalf("b[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	names := map[Model]string{
+		EREW: "EREW", CREW: "CREW", CommonCRCW: "Common CRCW",
+		ArbitraryCRCW: "Arbitrary CRCW", PriorityCRCW: "Priority CRCW",
+	}
+	for model, want := range names {
+		if got := model.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", model, got, want)
+		}
+	}
+	if got := Model(99).String(); got != "Model(99)" {
+		t.Errorf("unknown model String() = %q", got)
+	}
+}
+
+func TestArrayHostAccess(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArrayFrom([]int64{5, 6, 7})
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	a.SetHost(1, 60)
+	if a.At(1) != 60 {
+		t.Fatalf("At(1) = %d", a.At(1))
+	}
+	a.Load([]int64{1, 2, 3})
+	got := a.Slice()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Slice = %v", got)
+	}
+	// Slice must be a copy.
+	got[0] = 100
+	if a.At(0) != 1 {
+		t.Fatal("Slice aliases machine memory")
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArray(3)
+	for _, f := range []func(){
+		func() { a.At(3) },
+		func() { a.At(-1) },
+		func() { a.SetHost(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected bounds panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFillIotaCopy(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArray(7)
+	Fill(m, a, 9)
+	for _, v := range a.Ints() {
+		if v != 9 {
+			t.Fatalf("Fill: %v", a.Ints())
+		}
+	}
+	Iota(m, a, 3)
+	for i, v := range a.Ints() {
+		if v != 3+i {
+			t.Fatalf("Iota: %v", a.Ints())
+		}
+	}
+	b := m.NewArray(7)
+	Copy(m, b, a)
+	for i, v := range b.Ints() {
+		if v != 3+i {
+			t.Fatalf("Copy: %v", b.Ints())
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	src := m.NewArrayFromInts([]int{10, 20, 30, 40})
+	idx := m.NewArrayFromInts([]int{3, 0, 2, 1})
+	dst := m.NewArray(4)
+	Gather(m, dst, src, idx)
+	want := []int{40, 10, 30, 20}
+	for i, v := range dst.Ints() {
+		if v != want[i] {
+			t.Fatalf("Gather = %v, want %v", dst.Ints(), want)
+		}
+	}
+	dst2 := m.NewArray(4)
+	Scatter(m, dst2, src, idx)
+	want2 := []int{20, 40, 30, 10}
+	for i, v := range dst2.Ints() {
+		if v != want2[i] {
+			t.Fatalf("Scatter = %v, want %v", dst2.Ints(), want2)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArrayFromInts([]int{5, -2, 9, 3, 7, 1})
+	if got := ReduceSum(m, a); got != 23 {
+		t.Errorf("sum = %d, want 23", got)
+	}
+	if got := ReduceMin(m, a); got != -2 {
+		t.Errorf("min = %d, want -2", got)
+	}
+	if got := ReduceMax(m, a); got != 9 {
+		t.Errorf("max = %d, want 9", got)
+	}
+	single := m.NewArrayFromInts([]int{42})
+	if got := ReduceSum(m, single); got != 42 {
+		t.Errorf("singleton sum = %d", got)
+	}
+}
+
+func TestReduceWorkIsLinear(t *testing.T) {
+	// The balanced tree must do O(n) work, not O(n log n).
+	m := New(ArbitraryCRCW)
+	n := 1 << 12
+	a := m.NewArray(n)
+	Fill(m, a, 1)
+	m.ResetStats()
+	if got := ReduceSum(m, a); got != int64(n) {
+		t.Fatalf("sum = %d", got)
+	}
+	if w := m.Stats().Work; w > int64(4*n) {
+		t.Errorf("reduce work = %d, want <= %d (linear)", w, 4*n)
+	}
+}
+
+func scanReference(in []int64) ([]int64, int64) {
+	out := make([]int64, len(in))
+	var acc int64
+	for i, v := range in {
+		out[i] = acc
+		acc += v
+	}
+	return out, acc
+}
+
+func TestExclusiveScanSmall(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(i*i - 3)
+		}
+		m := New(ArbitraryCRCW)
+		a := m.NewArrayFrom(in)
+		prefix, total := ExclusiveScan(m, a)
+		wantPrefix, wantTotal := scanReference(in)
+		if n > 0 && total != wantTotal {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, wantTotal)
+		}
+		got := prefix.Slice()
+		for i := range wantPrefix {
+			if got[i] != wantPrefix[i] {
+				t.Fatalf("n=%d: prefix = %v, want %v", n, got, wantPrefix)
+			}
+		}
+	}
+}
+
+func TestScanProperty(t *testing.T) {
+	f := func(in []int64) bool {
+		if len(in) == 0 {
+			return true
+		}
+		// Bound the values so sums cannot overflow.
+		for i := range in {
+			in[i] %= 1 << 20
+		}
+		m := New(ArbitraryCRCW)
+		a := m.NewArrayFrom(in)
+		prefix, total := ExclusiveScan(m, a)
+		wantPrefix, wantTotal := scanReference(in)
+		if total != wantTotal {
+			return false
+		}
+		got := prefix.Slice()
+		for i := range wantPrefix {
+			if got[i] != wantPrefix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	a := m.NewArrayFromInts([]int{1, 2, 3, 4})
+	prefix, total := InclusiveScan(m, a)
+	want := []int{1, 3, 6, 10}
+	for i, v := range prefix.Ints() {
+		if v != want[i] {
+			t.Fatalf("inclusive scan = %v, want %v", prefix.Ints(), want)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestScanWorkIsLinear(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	n := 1 << 12
+	a := m.NewArray(n)
+	Fill(m, a, 1)
+	m.ResetStats()
+	_, total := ExclusiveScan(m, a)
+	if total != int64(n) {
+		t.Fatalf("total = %d", total)
+	}
+	if w := m.Stats().Work; w > int64(10*n) {
+		t.Errorf("scan work = %d, want <= %d (linear)", w, 10*n)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	data := m.NewArrayFromInts([]int{10, 11, 12, 13, 14, 15})
+	flags := m.NewArrayFromInts([]int{1, 0, 0, 5, 1, 0})
+	out := Compact(m, data, flags)
+	want := []int{10, 13, 14}
+	got := out.Ints()
+	if len(got) != len(want) {
+		t.Fatalf("Compact = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Compact = %v, want %v", got, want)
+		}
+	}
+	idx := CompactIndices(m, flags)
+	wantIdx := []int{0, 3, 4}
+	gotIdx := idx.Ints()
+	for i := range wantIdx {
+		if gotIdx[i] != wantIdx[i] {
+			t.Fatalf("CompactIndices = %v, want %v", gotIdx, wantIdx)
+		}
+	}
+}
+
+func TestCompactEmptyAndFull(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	data := m.NewArrayFromInts([]int{1, 2, 3})
+	none := m.NewArray(3)
+	out := Compact(m, data, none)
+	if out.Len() != 0 {
+		t.Fatalf("empty compact has %d elements", out.Len())
+	}
+	all := m.NewArray(3)
+	Fill(m, all, 1)
+	out = Compact(m, data, all)
+	if out.Len() != 3 {
+		t.Fatalf("full compact has %d elements", out.Len())
+	}
+}
+
+func TestFirstOne(t *testing.T) {
+	cases := []struct {
+		flags []int
+		want  int
+	}{
+		{[]int{}, -1},
+		{[]int{0}, -1},
+		{[]int{1}, 0},
+		{[]int{0, 0, 0}, -1},
+		{[]int{0, 0, 1}, 2},
+		{[]int{1, 1, 1}, 0},
+		{[]int{0, 1, 0, 1}, 1},
+	}
+	for _, tc := range cases {
+		m := New(CommonCRCW)
+		flags := m.NewArrayFromInts(tc.flags)
+		if got := FirstOne(m, flags); got != tc.want {
+			t.Errorf("FirstOne(%v) = %d, want %d", tc.flags, got, tc.want)
+		}
+	}
+}
+
+func TestFirstOneLargeAndConstantTime(t *testing.T) {
+	n := 1 << 14
+	for _, pos := range []int{0, 1, 2000, n / 2, n - 1} {
+		m := New(CommonCRCW)
+		flags := m.NewArray(n)
+		flags.SetHost(pos, 1)
+		if pos+37 < n {
+			flags.SetHost(pos+37, 1)
+		}
+		m.ResetStats()
+		if got := FirstOne(m, flags); got != pos {
+			t.Fatalf("FirstOne = %d, want %d", got, pos)
+		}
+		s := m.Stats()
+		if s.Rounds > 12 {
+			t.Errorf("FirstOne used %d rounds, want O(1)", s.Rounds)
+		}
+		if s.Work > int64(8*n) {
+			t.Errorf("FirstOne work = %d, want O(n) = %d", s.Work, 8*n)
+		}
+	}
+}
+
+func TestFirstOneProperty(t *testing.T) {
+	f := func(raw []bool) bool {
+		m := New(CommonCRCW)
+		flags := m.NewArray(len(raw))
+		want := -1
+		for i, b := range raw {
+			if b {
+				flags.SetHost(i, 1)
+				if want == -1 {
+					want = i
+				}
+			}
+		}
+		return FirstOne(m, flags) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewArrayFromIntsRoundTrip(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	in := []int{-5, 0, 7}
+	a := m.NewArrayFromInts(in)
+	out := a.Ints()
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip = %v, want %v", out, in)
+		}
+	}
+}
+
+func TestCellsHighWater(t *testing.T) {
+	m := New(ArbitraryCRCW)
+	m.NewArray(100)
+	m.NewArray(50)
+	if c := m.Stats().Cells; c != 150 {
+		t.Fatalf("Cells = %d, want 150", c)
+	}
+	m.ResetStats()
+	if c := m.Stats().Cells; c != 150 {
+		t.Fatalf("Cells after reset = %d, want 150 (memory kept)", c)
+	}
+}

@@ -1,0 +1,250 @@
+package pram
+
+// This file provides the standard work-optimal building blocks used by every
+// algorithm in the repository: data movement, balanced-tree reductions,
+// prefix sums (scan), stream compaction, and the constant-time first-one
+// algorithm of Fich, Ragde and Wigderson. All run in O(log n) rounds and
+// O(n) work unless stated otherwise; FirstOne runs in O(1) rounds.
+//
+// The primitives assume concurrent reads are permitted (CREW and stronger).
+
+// Fill sets a[i] = v for all i. One round, O(n) work.
+func Fill(m *Machine, a *Array, v int64) {
+	m.ParDo(a.Len(), func(c *Ctx, p int) { c.Write(a, p, v) })
+}
+
+// Iota sets a[i] = start + i for all i. One round, O(n) work.
+func Iota(m *Machine, a *Array, start int64) {
+	m.ParDo(a.Len(), func(c *Ctx, p int) { c.Write(a, p, start+int64(p)) })
+}
+
+// Copy sets dst[i] = src[i]. One round, O(n) work.
+func Copy(m *Machine, dst, src *Array) {
+	if dst.Len() != src.Len() {
+		panic("pram: Copy length mismatch")
+	}
+	m.ParDo(src.Len(), func(c *Ctx, p int) { c.Write(dst, p, c.Read(src, p)) })
+}
+
+// Gather sets dst[i] = src[idx[i]]. One round, O(n) work.
+func Gather(m *Machine, dst, src, idx *Array) {
+	if dst.Len() != idx.Len() {
+		panic("pram: Gather length mismatch")
+	}
+	m.ParDo(dst.Len(), func(c *Ctx, p int) {
+		c.Write(dst, p, c.Read(src, int(c.Read(idx, p))))
+	})
+}
+
+// Scatter sets dst[idx[i]] = src[i]. One round, O(n) work. Distinct idx
+// values give EREW-style writes; duplicates resolve under the machine model.
+func Scatter(m *Machine, dst, src, idx *Array) {
+	if src.Len() != idx.Len() {
+		panic("pram: Scatter length mismatch")
+	}
+	m.ParDo(src.Len(), func(c *Ctx, p int) {
+		c.Write(dst, int(c.Read(idx, p)), c.Read(src, p))
+	})
+}
+
+// reduceOp folds a with a binary associative operator via a balanced tree:
+// O(log n) rounds, O(n) work.
+func reduceOp(m *Machine, a *Array, op func(x, y int64) int64) int64 {
+	n := a.Len()
+	if n == 0 {
+		panic("pram: reduce of empty array")
+	}
+	cur := m.NewArray(n)
+	Copy(m, cur, a)
+	for cur.Len() > 1 {
+		half := (cur.Len() + 1) / 2
+		next := m.NewArray(half)
+		src := cur
+		m.ParDo(half, func(c *Ctx, p int) {
+			x := c.Read(src, 2*p)
+			if 2*p+1 < src.Len() {
+				x = op(x, c.Read(src, 2*p+1))
+			}
+			c.Write(next, p, x)
+		})
+		cur = next
+	}
+	return cur.At(0)
+}
+
+// ReduceSum returns the sum of the array elements.
+func ReduceSum(m *Machine, a *Array) int64 {
+	return reduceOp(m, a, func(x, y int64) int64 { return x + y })
+}
+
+// ReduceMin returns the minimum element.
+func ReduceMin(m *Machine, a *Array) int64 {
+	return reduceOp(m, a, func(x, y int64) int64 {
+		if y < x {
+			return y
+		}
+		return x
+	})
+}
+
+// ReduceMax returns the maximum element.
+func ReduceMax(m *Machine, a *Array) int64 {
+	return reduceOp(m, a, func(x, y int64) int64 {
+		if y > x {
+			return y
+		}
+		return x
+	})
+}
+
+// ExclusiveScan returns prefix with prefix[i] = a[0] + ... + a[i-1] and the
+// total sum. O(log n) rounds, O(n) work (balanced-tree up/down sweep).
+func ExclusiveScan(m *Machine, a *Array) (prefix *Array, total int64) {
+	n := a.Len()
+	prefix = m.NewArray(n)
+	if n == 0 {
+		return prefix, 0
+	}
+	// Up-sweep: levels[k][i] = sum of a block of 2^k consecutive inputs.
+	levels := []*Array{m.NewArray(n)}
+	Copy(m, levels[0], a)
+	for levels[len(levels)-1].Len() > 1 {
+		src := levels[len(levels)-1]
+		half := (src.Len() + 1) / 2
+		next := m.NewArray(half)
+		m.ParDo(half, func(c *Ctx, p int) {
+			x := c.Read(src, 2*p)
+			if 2*p+1 < src.Len() {
+				x += c.Read(src, 2*p+1)
+			}
+			c.Write(next, p, x)
+		})
+		levels = append(levels, next)
+	}
+	total = levels[len(levels)-1].At(0)
+
+	// Down-sweep: pre[k][i] = sum of all inputs before block i of level k.
+	pre := m.NewArray(levels[len(levels)-1].Len())
+	Fill(m, pre, 0)
+	for k := len(levels) - 2; k >= 0; k-- {
+		src := levels[k]
+		parentPre := pre
+		cur := m.NewArray(src.Len())
+		m.ParDo(src.Len(), func(c *Ctx, p int) {
+			v := c.Read(parentPre, p/2)
+			if p%2 == 1 {
+				v += c.Read(src, p-1)
+			}
+			c.Write(cur, p, v)
+		})
+		pre = cur
+	}
+	Copy(m, prefix, pre)
+	return prefix, total
+}
+
+// InclusiveScan returns prefix with prefix[i] = a[0] + ... + a[i].
+func InclusiveScan(m *Machine, a *Array) (prefix *Array, total int64) {
+	ex, tot := ExclusiveScan(m, a)
+	prefix = m.NewArray(a.Len())
+	m.ParDo(a.Len(), func(c *Ctx, p int) {
+		c.Write(prefix, p, c.Read(ex, p)+c.Read(a, p))
+	})
+	return prefix, tot
+}
+
+// Compact returns the elements data[i] with flags[i] != 0, in index order.
+// O(log n) rounds, O(n) work.
+func Compact(m *Machine, data, flags *Array) *Array {
+	if data.Len() != flags.Len() {
+		panic("pram: Compact length mismatch")
+	}
+	boolFlags := m.NewArray(flags.Len())
+	m.ParDo(flags.Len(), func(c *Ctx, p int) {
+		if c.Read(flags, p) != 0 {
+			c.Write(boolFlags, p, 1)
+		} else {
+			c.Write(boolFlags, p, 0)
+		}
+	})
+	pos, total := ExclusiveScan(m, boolFlags)
+	out := m.NewArray(int(total))
+	m.ParDo(data.Len(), func(c *Ctx, p int) {
+		if c.Read(boolFlags, p) != 0 {
+			c.Write(out, int(c.Read(pos, p)), c.Read(data, p))
+		}
+	})
+	return out
+}
+
+// CompactIndices returns the indices i with flags[i] != 0, in increasing
+// order. O(log n) rounds, O(n) work.
+func CompactIndices(m *Machine, flags *Array) *Array {
+	idx := m.NewArray(flags.Len())
+	Iota(m, idx, 0)
+	return Compact(m, idx, flags)
+}
+
+// FirstOne returns the least i with flags[i] != 0, or -1 if none, using the
+// constant-time linear-work algorithm of Fich, Ragde and Wigderson on the
+// Common CRCW PRAM: split into ~sqrt(n) blocks, knock out non-first blocks
+// with all-pairs comparisons, then repeat inside the winning block.
+func FirstOne(m *Machine, flags *Array) int {
+	n := flags.Len()
+	if n == 0 {
+		return -1
+	}
+	s := 1
+	for s*s < n {
+		s++
+	}
+	nb := (n + s - 1) / s
+
+	blockHasOne := m.NewArray(nb)
+	Fill(m, blockHasOne, 0)
+	m.ParDo(n, func(c *Ctx, p int) {
+		if c.Read(flags, p) != 0 {
+			c.Write(blockHasOne, p/s, 1)
+		}
+	})
+
+	fb := firstOneAllPairs(m, blockHasOne)
+	if fb < 0 {
+		return -1
+	}
+	lo := fb * s
+	hi := lo + s
+	if hi > n {
+		hi = n
+	}
+	block := m.NewArray(hi - lo)
+	m.ParDo(hi-lo, func(c *Ctx, p int) { c.Write(block, p, c.Read(flags, lo+p)) })
+	fi := firstOneAllPairs(m, block)
+	return lo + fi
+}
+
+// firstOneAllPairs finds the first set flag with k^2 processors in O(1)
+// rounds, where k = len(flags). Used on blocks of size ~sqrt(n) so the work
+// stays linear in the original input.
+func firstOneAllPairs(m *Machine, flags *Array) int {
+	k := flags.Len()
+	if k == 0 {
+		return -1
+	}
+	notFirst := m.NewArray(k)
+	Fill(m, notFirst, 0)
+	m.ParDo(k*k, func(c *Ctx, p int) {
+		i, j := p/k, p%k
+		if i < j && c.Read(flags, i) != 0 && c.Read(flags, j) != 0 {
+			c.Write(notFirst, j, 1)
+		}
+	})
+	result := m.NewArray(1)
+	result.SetHost(0, -1)
+	m.ParDo(k, func(c *Ctx, p int) {
+		if c.Read(flags, p) != 0 && c.Read(notFirst, p) == 0 {
+			c.Write(result, 0, int64(p))
+		}
+	})
+	return int(result.At(0))
+}

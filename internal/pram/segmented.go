@@ -1,0 +1,152 @@
+package pram
+
+// Segmented primitives: the input array is viewed as a sequence of
+// contiguous segments of equal length segLen; each segment is processed
+// independently but within the same parallel steps. These power the
+// candidate duels of Algorithm "simple m.s.p.", where every duel must find
+// the first mismatching position of two rotations in O(1) time.
+
+// InclusiveScanMax returns prefix with prefix[i] = max(a[0..i]).
+// O(log n) rounds, O(n) work.
+func InclusiveScanMax(m *Machine, a *Array) *Array {
+	n := a.Len()
+	out := m.NewArray(n)
+	if n == 0 {
+		return out
+	}
+	// Up-sweep of block maxima.
+	levels := []*Array{m.NewArray(n)}
+	Copy(m, levels[0], a)
+	for levels[len(levels)-1].Len() > 1 {
+		src := levels[len(levels)-1]
+		half := (src.Len() + 1) / 2
+		next := m.NewArray(half)
+		m.ParDo(half, func(c *Ctx, p int) {
+			x := c.Read(src, 2*p)
+			if 2*p+1 < src.Len() {
+				if y := c.Read(src, 2*p+1); y > x {
+					x = y
+				}
+			}
+			c.Write(next, p, x)
+		})
+		levels = append(levels, next)
+	}
+	// Down-sweep: pre[i] = max of everything before block i (or MinInt64).
+	const negInf = int64(-1) << 62
+	pre := m.NewArray(levels[len(levels)-1].Len())
+	Fill(m, pre, negInf)
+	for k := len(levels) - 2; k >= 0; k-- {
+		src := levels[k]
+		parentPre := pre
+		cur := m.NewArray(src.Len())
+		m.ParDo(src.Len(), func(c *Ctx, p int) {
+			v := c.Read(parentPre, p/2)
+			if p%2 == 1 {
+				if x := c.Read(src, p-1); x > v {
+					v = x
+				}
+			}
+			c.Write(cur, p, v)
+		})
+		pre = cur
+	}
+	m.ParDo(n, func(c *Ctx, p int) {
+		v := c.Read(pre, p)
+		if x := c.Read(a, p); x > v {
+			v = x
+		}
+		c.Write(out, p, v)
+	})
+	return out
+}
+
+// SegmentedFirstOne treats flags as ⌈len/segLen⌉ contiguous segments of
+// length segLen and returns, per segment, the offset (within the segment)
+// of its first non-zero flag, or -1 if the segment is all zero. It runs in
+// O(1) rounds and O(len) work on the Common CRCW PRAM by applying the
+// Fich–Ragde–Wigderson two-level scheme to every segment at once.
+func SegmentedFirstOne(m *Machine, flags *Array, segLen int) *Array {
+	if segLen <= 0 {
+		panic("pram: segLen must be positive")
+	}
+	n := flags.Len()
+	segs := (n + segLen - 1) / segLen
+	result := m.NewArray(segs)
+	if segs == 0 {
+		return result
+	}
+	s := 1
+	for s*s < segLen {
+		s++
+	}
+	nb := (segLen + s - 1) / s
+
+	blockFlag := m.NewArray(segs * nb)
+	Fill(m, blockFlag, 0)
+	m.ParDo(n, func(c *Ctx, p int) {
+		if c.Read(flags, p) != 0 {
+			seg, off := p/segLen, p%segLen
+			c.Write(blockFlag, seg*nb+off/s, 1)
+		}
+	})
+
+	notFirstB := m.NewArray(segs * nb)
+	Fill(m, notFirstB, 0)
+	m.ParDo(segs*nb*nb, func(c *Ctx, p int) {
+		seg := p / (nb * nb)
+		r := p % (nb * nb)
+		i, j := r/nb, r%nb
+		if i < j && c.Read(blockFlag, seg*nb+i) != 0 && c.Read(blockFlag, seg*nb+j) != 0 {
+			c.Write(notFirstB, seg*nb+j, 1)
+		}
+	})
+	firstBlk := m.NewArray(segs)
+	Fill(m, firstBlk, -1)
+	m.ParDo(segs*nb, func(c *Ctx, p int) {
+		seg, b := p/nb, p%nb
+		if c.Read(blockFlag, p) != 0 && c.Read(notFirstB, p) == 0 {
+			c.Write(firstBlk, seg, int64(b))
+		}
+	})
+
+	// Within each winning block, repeat with all-pairs over s positions.
+	notFirstP := m.NewArray(segs * s)
+	Fill(m, notFirstP, 0)
+	m.ParDo(segs*s*s, func(c *Ctx, p int) {
+		seg := p / (s * s)
+		r := p % (s * s)
+		i, j := r/s, r%s
+		if i >= j {
+			return
+		}
+		fb := c.Read(firstBlk, seg)
+		if fb < 0 {
+			return
+		}
+		lo := seg*segLen + int(fb)*s
+		pi, pj := lo+i, lo+j
+		if pj >= n || pj >= seg*segLen+segLen {
+			return
+		}
+		if c.Read(flags, pi) != 0 && c.Read(flags, pj) != 0 {
+			c.Write(notFirstP, seg*s+j, 1)
+		}
+	})
+	Fill(m, result, -1)
+	m.ParDo(segs*s, func(c *Ctx, p int) {
+		seg, off := p/s, p%s
+		fb := c.Read(firstBlk, seg)
+		if fb < 0 {
+			return
+		}
+		pos := seg*segLen + int(fb)*s + off
+		if pos >= n || pos >= seg*segLen+segLen {
+			return
+		}
+		if c.Read(flags, pos) != 0 && c.Read(notFirstP, seg*s+off) == 0 {
+			c.Write(result, seg, int64(fb)*int64(s)+int64(off))
+		}
+	})
+	return result
+}

@@ -1,0 +1,147 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInclusiveScanMax(t *testing.T) {
+	cases := [][]int{
+		{},
+		{5},
+		{1, 2, 3},
+		{3, 2, 1},
+		{-4, -9, -1, -7},
+		{2, 9, 1, 9, 0, 12, 3},
+	}
+	for _, in := range cases {
+		m := New(ArbitraryCRCW)
+		a := m.NewArrayFromInts(in)
+		out := InclusiveScanMax(m, a).Ints()
+		best := int(-1) << 62
+		for i, v := range in {
+			if v > best {
+				best = v
+			}
+			if out[i] != best {
+				t.Fatalf("scanmax(%v) = %v, want prefix max %d at %d", in, out, best, i)
+			}
+		}
+	}
+}
+
+func TestInclusiveScanMaxProperty(t *testing.T) {
+	f := func(in []int32) bool {
+		m := New(ArbitraryCRCW)
+		a := m.NewArray(len(in))
+		for i, v := range in {
+			a.SetHost(i, int64(v))
+		}
+		out := InclusiveScanMax(m, a).Slice()
+		best := int64(-1) << 62
+		for i, v := range in {
+			if int64(v) > best {
+				best = int64(v)
+			}
+			if out[i] != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func segFirstOneRef(flags []int, segLen int) []int {
+	segs := (len(flags) + segLen - 1) / segLen
+	out := make([]int, segs)
+	for s := 0; s < segs; s++ {
+		out[s] = -1
+		for off := 0; off < segLen && s*segLen+off < len(flags); off++ {
+			if flags[s*segLen+off] != 0 {
+				out[s] = off
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestSegmentedFirstOne(t *testing.T) {
+	cases := []struct {
+		flags  []int
+		segLen int
+	}{
+		{[]int{}, 4},
+		{[]int{1}, 1},
+		{[]int{0, 1, 0, 0, 1, 0, 0, 0}, 4},
+		{[]int{0, 0, 0, 0}, 2},
+		{[]int{1, 1, 1, 1, 1}, 2}, // ragged tail
+		{[]int{0, 0, 0, 1}, 4},
+	}
+	for _, tc := range cases {
+		m := New(CommonCRCW)
+		flags := m.NewArrayFromInts(tc.flags)
+		got := SegmentedFirstOne(m, flags, tc.segLen).Ints()
+		want := segFirstOneRef(tc.flags, tc.segLen)
+		if len(got) != len(want) {
+			t.Fatalf("flags=%v segLen=%d: got %v, want %v", tc.flags, tc.segLen, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("flags=%v segLen=%d: got %v, want %v", tc.flags, tc.segLen, got, want)
+			}
+		}
+	}
+}
+
+func TestSegmentedFirstOneRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		segLen := 1 + rng.Intn(33)
+		n := rng.Intn(5 * segLen)
+		flags := make([]int, n)
+		for i := range flags {
+			if rng.Intn(4) == 0 {
+				flags[i] = 1
+			}
+		}
+		m := New(CommonCRCW)
+		fa := m.NewArrayFromInts(flags)
+		got := SegmentedFirstOne(m, fa, segLen).Ints()
+		want := segFirstOneRef(flags, segLen)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segLen=%d flags=%v: got %v, want %v", segLen, flags, got, want)
+			}
+		}
+	}
+}
+
+func TestSegmentedFirstOneConstantRounds(t *testing.T) {
+	m := New(CommonCRCW)
+	n := 1 << 12
+	flags := m.NewArray(n)
+	flags.SetHost(n-1, 1)
+	m.ResetStats()
+	SegmentedFirstOne(m, flags, 64)
+	if r := m.Stats().Rounds; r > 12 {
+		t.Errorf("SegmentedFirstOne used %d rounds, want O(1)", r)
+	}
+	if w := m.Stats().Work; w > int64(10*n) {
+		t.Errorf("SegmentedFirstOne work = %d, want O(n)", w)
+	}
+}
+
+func TestSegmentedFirstOneBadSegLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for segLen <= 0")
+		}
+	}()
+	m := New(CommonCRCW)
+	SegmentedFirstOne(m, m.NewArray(4), 0)
+}

@@ -1,0 +1,124 @@
+package pram
+
+// Segmented scans over ragged segments delimited by head flags. These let
+// every cycle of the pseudo-forest be processed in the same parallel steps
+// even though cycle lengths differ — the batching device behind the
+// "for each cycle pardo" loops of JáJá & Ryu's Algorithm cycle node
+// labeling. Classic head-flag segmented scan: O(log n) rounds, O(n) work.
+
+// segPair is the (flag, value) element of the segmented-scan monoid.
+type segPair struct {
+	flag int64
+	val  int64
+}
+
+// segmentedScan returns the inclusive segmented scan of a under op, where
+// heads[i] != 0 marks the first element of each segment. Element i of the
+// result is op-fold of a[j..i] with j the last head at or before i.
+func segmentedScan(m *Machine, a, heads *Array, op func(x, y int64) int64) *Array {
+	n := a.Len()
+	if heads.Len() != n {
+		panic("pram: segmented scan length mismatch")
+	}
+	out := m.NewArray(n)
+	if n == 0 {
+		return out
+	}
+	// combine implements the segmented monoid: a segment head blocks
+	// accumulation from the left.
+	combine := func(lf, lv, rf, rv int64) (int64, int64) {
+		if rf != 0 {
+			return 1, rv
+		}
+		return lf, op(lv, rv)
+	}
+
+	// Up-sweep over (flag, value) blocks.
+	type level struct{ flags, vals *Array }
+	l0 := level{m.NewArray(n), m.NewArray(n)}
+	Copy(m, l0.flags, heads)
+	Copy(m, l0.vals, a)
+	levels := []level{l0}
+	for levels[len(levels)-1].flags.Len() > 1 {
+		src := levels[len(levels)-1]
+		half := (src.flags.Len() + 1) / 2
+		next := level{m.NewArray(half), m.NewArray(half)}
+		m.ParDo(half, func(c *Ctx, p int) {
+			f, v := c.Read(src.flags, 2*p), c.Read(src.vals, 2*p)
+			if 2*p+1 < src.flags.Len() {
+				f, v = combine(f, v, c.Read(src.flags, 2*p+1), c.Read(src.vals, 2*p+1))
+			}
+			c.Write(next.flags, p, f)
+			c.Write(next.vals, p, v)
+		})
+		levels = append(levels, next)
+	}
+
+	// Down-sweep: pre[i] = fold of everything in i's block prefix, as a
+	// (flag, value) pair; identity = (0, firstValue placeholder handled by
+	// validity flags).
+	top := levels[len(levels)-1]
+	preF := m.NewArray(top.flags.Len())
+	preV := m.NewArray(top.flags.Len())
+	preOk := m.NewArray(top.flags.Len()) // 0 = identity (nothing before)
+	Fill(m, preF, 0)
+	Fill(m, preV, 0)
+	Fill(m, preOk, 0)
+	for k := len(levels) - 2; k >= 0; k-- {
+		src := levels[k]
+		pf, pv, pok := preF, preV, preOk
+		nf := m.NewArray(src.flags.Len())
+		nv := m.NewArray(src.flags.Len())
+		nok := m.NewArray(src.flags.Len())
+		m.ParDo(src.flags.Len(), func(c *Ctx, p int) {
+			f, v, ok := c.Read(pf, p/2), c.Read(pv, p/2), c.Read(pok, p/2)
+			if p%2 == 1 {
+				sf, sv := c.Read(src.flags, p-1), c.Read(src.vals, p-1)
+				if ok == 0 {
+					f, v, ok = sf, sv, 1
+				} else {
+					f, v = combine(f, v, sf, sv)
+					ok = 1
+				}
+			}
+			c.Write(nf, p, f)
+			c.Write(nv, p, v)
+			c.Write(nok, p, ok)
+		})
+		preF, preV, preOk = nf, nv, nok
+	}
+	m.ParDo(n, func(c *Ctx, p int) {
+		f, v := c.Read(heads, p), c.Read(a, p)
+		if c.Read(preOk, p) != 0 {
+			_, v2 := combine(c.Read(preF, p), c.Read(preV, p), f, v)
+			v = v2
+		}
+		c.Write(out, p, v)
+	})
+	return out
+}
+
+// SegmentedScanSum returns the inclusive per-segment prefix sums.
+func SegmentedScanSum(m *Machine, a, heads *Array) *Array {
+	return segmentedScan(m, a, heads, func(x, y int64) int64 { return x + y })
+}
+
+// SegmentedScanMax returns the inclusive per-segment prefix maxima.
+func SegmentedScanMax(m *Machine, a, heads *Array) *Array {
+	return segmentedScan(m, a, heads, func(x, y int64) int64 {
+		if y > x {
+			return y
+		}
+		return x
+	})
+}
+
+// SegmentedScanMin returns the inclusive per-segment prefix minima.
+func SegmentedScanMin(m *Machine, a, heads *Array) *Array {
+	return segmentedScan(m, a, heads, func(x, y int64) int64 {
+		if y < x {
+			return y
+		}
+		return x
+	})
+}

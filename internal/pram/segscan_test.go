@@ -1,0 +1,136 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func segScanRef(a []int, heads []int, op func(x, y int) int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		if i == 0 || heads[i] != 0 {
+			out[i] = a[i]
+		} else {
+			out[i] = op(out[i-1], a[i])
+		}
+	}
+	return out
+}
+
+func runSegScan(t *testing.T, a, heads []int) {
+	t.Helper()
+	m := New(ArbitraryCRCW)
+	av := m.NewArrayFromInts(a)
+	hv := m.NewArrayFromInts(heads)
+
+	gotSum := SegmentedScanSum(m, av, hv).Ints()
+	wantSum := segScanRef(a, heads, func(x, y int) int { return x + y })
+	gotMax := SegmentedScanMax(m, av, hv).Ints()
+	wantMax := segScanRef(a, heads, func(x, y int) int {
+		if y > x {
+			return y
+		}
+		return x
+	})
+	gotMin := SegmentedScanMin(m, av, hv).Ints()
+	wantMin := segScanRef(a, heads, func(x, y int) int {
+		if y < x {
+			return y
+		}
+		return x
+	})
+	for i := range a {
+		if gotSum[i] != wantSum[i] {
+			t.Fatalf("sum: a=%v heads=%v got=%v want=%v", a, heads, gotSum, wantSum)
+		}
+		if gotMax[i] != wantMax[i] {
+			t.Fatalf("max: a=%v heads=%v got=%v want=%v", a, heads, gotMax, wantMax)
+		}
+		if gotMin[i] != wantMin[i] {
+			t.Fatalf("min: a=%v heads=%v got=%v want=%v", a, heads, gotMin, wantMin)
+		}
+	}
+}
+
+func TestSegmentedScanSmall(t *testing.T) {
+	cases := []struct{ a, heads []int }{
+		{[]int{}, []int{}},
+		{[]int{5}, []int{1}},
+		{[]int{1, 2, 3, 4}, []int{1, 0, 0, 0}},       // one segment
+		{[]int{1, 2, 3, 4}, []int{1, 1, 1, 1}},       // all singletons
+		{[]int{1, 2, 3, 4, 5}, []int{1, 0, 1, 0, 0}}, // two segments
+		{[]int{-3, 7, 0, -1, 2, 2}, []int{1, 0, 0, 1, 0, 1}},
+	}
+	for _, tc := range cases {
+		runSegScan(t, tc.a, tc.heads)
+	}
+}
+
+func TestSegmentedScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(200)
+		a := make([]int, n)
+		heads := make([]int, n)
+		heads[0] = 1
+		for i := range a {
+			a[i] = rng.Intn(41) - 20
+			if i > 0 && rng.Intn(5) == 0 {
+				heads[i] = 1
+			}
+		}
+		runSegScan(t, a, heads)
+	}
+}
+
+func TestSegmentedScanProperty(t *testing.T) {
+	f := func(raw []int16, headBits []bool) bool {
+		n := len(raw)
+		a := make([]int, n)
+		heads := make([]int, n)
+		for i := range a {
+			a[i] = int(raw[i])
+			if i == 0 || (i < len(headBits) && headBits[i]) {
+				heads[i] = 1
+			}
+		}
+		m := New(ArbitraryCRCW)
+		av := m.NewArrayFromInts(a)
+		hv := m.NewArrayFromInts(heads)
+		got := SegmentedScanSum(m, av, hv).Ints()
+		want := segScanRef(a, heads, func(x, y int) int { return x + y })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentedScanLinearWork(t *testing.T) {
+	n := 1 << 13
+	m := New(ArbitraryCRCW)
+	a := m.NewArray(n)
+	heads := m.NewArray(n)
+	Fill(m, a, 1)
+	m.ParDo(n, func(c *Ctx, p int) {
+		if p%37 == 0 {
+			c.Write(heads, p, 1)
+		} else {
+			c.Write(heads, p, 0)
+		}
+	})
+	m.ResetStats()
+	SegmentedScanSum(m, a, heads)
+	if w := m.Stats().Work; w > int64(20*n) {
+		t.Errorf("segmented scan work = %d, want O(n)", w)
+	}
+	if r := m.Stats().Rounds; r > 100 {
+		t.Errorf("segmented scan rounds = %d, want O(log n)", r)
+	}
+}

@@ -1,0 +1,142 @@
+package strsort
+
+import (
+	"sfcp/internal/pram"
+)
+
+// Parallel mergesort of strings — the Step 5 base case of Algorithm
+// sorting strings. The paper invokes Cole's pipelined mergesort (O(log m)
+// time, O(m log m) comparisons) and notes that "any two strings can be
+// compared in O(1) time with linear work" on the Common CRCW PRAM. We
+// substitute the simpler merge-path scheme: ceil(log2 m) rounds of pairwise
+// run merging, where every element finds its rank in the opposite run by
+// binary search over charged string comparisons. Same O(m log m)
+// comparison count; time O(log^2 m) instead of O(log m) — the documented
+// deviation in DESIGN.md.
+//
+// Strings live on the machine in flattened CSR form.
+
+// csrStrings is the device-side representation of a string list.
+type csrStrings struct {
+	vals   *pram.Array // all symbols, concatenated
+	starts *pram.Array // m+1 offsets
+	m      int
+}
+
+// newCSR loads strs onto the machine.
+func newCSR(m *pram.Machine, strs [][]int) csrStrings {
+	total := 0
+	for _, s := range strs {
+		total += len(s)
+	}
+	vals := make([]int64, 0, total)
+	starts := make([]int64, len(strs)+1)
+	for i, s := range strs {
+		starts[i] = int64(len(vals))
+		for _, v := range s {
+			vals = append(vals, int64(v))
+		}
+	}
+	starts[len(strs)] = int64(len(vals))
+	return csrStrings{vals: m.NewArrayFrom(vals), starts: m.NewArrayFrom(starts), m: len(strs)}
+}
+
+// compareCtx lexicographically compares strings i and j inside a step body,
+// charging the inspected symbols (a real PRAM would use the constant-time
+// segmented first-diff with linear processors; the charge matches).
+func (cs csrStrings) compareCtx(c *pram.Ctx, i, j int) int {
+	si, ei := c.Read(cs.starts, i), c.Read(cs.starts, i+1)
+	sj, ej := c.Read(cs.starts, j), c.Read(cs.starts, j+1)
+	li, lj := ei-si, ej-sj
+	min := li
+	if lj < min {
+		min = lj
+	}
+	c.Charge(min + 1)
+	for t := int64(0); t < min; t++ {
+		a, b := c.Read(cs.vals, int(si+t)), c.Read(cs.vals, int(sj+t))
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+	}
+	switch {
+	case li < lj:
+		return -1
+	case li > lj:
+		return 1
+	}
+	return 0
+}
+
+// MergeSortPRAM sorts the strings with genuine step-by-step parallel
+// mergesort and returns the stable permutation. O(log^2 m) rounds,
+// O(n log m) comparison work for total symbol count n.
+func MergeSortPRAM(mach *pram.Machine, strs [][]int) []int {
+	m := len(strs)
+	if m == 0 {
+		return nil
+	}
+	cs := newCSR(mach, strs)
+	order := mach.NewArray(m)
+	pram.Iota(mach, order, 0)
+
+	// less folds the stability tiebreak (original index) into the order.
+	less := func(c *pram.Ctx, a, b int64) bool {
+		if cmp := cs.compareCtx(c, int(a), int(b)); cmp != 0 {
+			return cmp < 0
+		}
+		return a < b
+	}
+
+	for width := 1; width < m; width <<= 1 {
+		next := mach.NewArray(m)
+		w := width
+		mach.ParDo(m, func(c *pram.Ctx, p int) {
+			blockStart := p / (2 * w) * (2 * w)
+			mid := blockStart + w
+			hi := blockStart + 2*w
+			if mid > m {
+				mid = m
+			}
+			if hi > m {
+				hi = m
+			}
+			me := c.Read(order, p)
+			// Partner run bounds.
+			var start2, end2 int
+			if p < mid {
+				start2, end2 = mid, hi
+			} else {
+				start2, end2 = blockStart, mid
+			}
+			// Rank of me within the partner run: partner elements that
+			// precede me in the total order.
+			lo2, hi2 := start2, end2
+			for lo2 < hi2 {
+				probe := (lo2 + hi2) / 2
+				if less(c, c.Read(order, probe), me) {
+					lo2 = probe + 1
+				} else {
+					hi2 = probe
+				}
+			}
+			count := lo2 - start2
+			var pos int
+			if p < mid {
+				pos = blockStart + (p - blockStart) + count
+			} else {
+				pos = blockStart + (p - mid) + count
+			}
+			c.Write(next, pos, me)
+		})
+		order = next
+	}
+	out := make([]int, m)
+	for i, v := range order.Ints() {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package strsort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+func TestMergeSortPRAMSmall(t *testing.T) {
+	cases := [][][]int{
+		{},
+		{{1}},
+		{{2}, {1}},
+		{{1, 2}, {1}, {}},
+		{{3}, {1}, {2}, {0}},
+		{{1, 1}, {1, 1}, {1}},
+		{{5, 4, 3}, {5, 4}, {5, 4, 2}, {5}},
+	}
+	for _, strs := range cases {
+		m := newMachine()
+		got := MergeSortPRAM(m, strs)
+		want := HostSort(strs)
+		if len(got) != len(want) {
+			t.Fatalf("strs=%v: got %v, want %v", strs, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("strs=%v: got %v, want %v", strs, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeSortPRAMRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 80; trial++ {
+		k := 1 + rng.Intn(40)
+		strs := randomStrings(rng, k, 8, 3)
+		m := newMachine()
+		got := MergeSortPRAM(m, strs)
+		want := HostSort(strs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("strs=%v: got %v, want %v", strs, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeSortPRAMNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, k := range []int{3, 5, 7, 9, 17, 33, 100} {
+		strs := randomStrings(rng, k, 6, 2)
+		m := newMachine()
+		got := MergeSortPRAM(m, strs)
+		want := HostSort(strs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: wrong order", k)
+			}
+		}
+	}
+}
+
+func TestMergeSortPRAMStability(t *testing.T) {
+	// All-equal strings must keep index order.
+	strs := [][]int{{7, 7}, {7, 7}, {7, 7}, {7, 7}, {7, 7}}
+	m := newMachine()
+	got := MergeSortPRAM(m, strs)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("unstable: %v", got)
+		}
+	}
+}
+
+func TestMergeSortPRAMProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		strs := make([][]int, len(raw))
+		for i, r := range raw {
+			s := make([]int, len(r))
+			for j, v := range r {
+				s[j] = int(v % 6)
+			}
+			strs[i] = s
+		}
+		m := newMachine()
+		got := MergeSortPRAM(m, strs)
+		want := HostSort(strs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortPRAMWithRealBase(t *testing.T) {
+	// The full pipeline with the un-modeled base case: no ChargeModel from
+	// Step 5 (pair sorting may still model Bhatt; use BitSplit to make the
+	// whole run genuinely step-by-step).
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(25)
+		strs := randomStrings(rng, k, 10, 3)
+		m := newMachine()
+		got := SortPRAM(m, strs, Options{Sort: intsort.BitSplit, BaseCase: BaseMergeSort})
+		want := HostSort(strs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("strs=%v: got %v, want %v", strs, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeSortRoundsPolylog(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	strs := randomStrings(rng, 1024, 4, 3)
+	m := pram.New(pram.ArbitraryCRCW)
+	m.ResetStats()
+	MergeSortPRAM(m, strs)
+	if r := m.Stats().Rounds; r > 64 {
+		t.Errorf("mergesort rounds = %d, want ~log^2(m)/... small", r)
+	}
+}

@@ -1,0 +1,277 @@
+// Package strsort sorts a list of variable-length strings over an integer
+// alphabet lexicographically — Algorithm "sorting strings" of JáJá & Ryu
+// (§3.1, Lemma 3.8): O(log n) time and O(n log log n) operations on the
+// Arbitrary CRCW PRAM for m strings of total length n, improving the
+// O(log^2 n / log log n)-time algorithm of Hagerup & Petersson.
+//
+// The algorithm repeatedly replaces every string by the string of ranks of
+// its consecutive symbol pairs (odd tails padded with a blank # that
+// precedes every symbol), shrinking the total symbol count by a constant
+// factor per round while preserving relative order, until the list is small
+// enough to finish with a comparison mergesort (Cole's algorithm in the
+// paper; modeled here — see DESIGN.md).
+package strsort
+
+import (
+	"math/bits"
+	"sort"
+
+	"sfcp/internal/intsort"
+	"sfcp/internal/pram"
+)
+
+// Base selects the Step-5 base-case sorter.
+type Base uint8
+
+const (
+	// BaseModeledCole charges Cole's published O(log m) time and O(n)
+	// operations while sorting on the host (default; the paper cites Cole
+	// as a black box).
+	BaseModeledCole Base = iota
+	// BaseMergeSort runs the real step-by-step merge-path mergesort
+	// (O(log^2 m) rounds, O(n log m) comparison work) — no modeling.
+	BaseMergeSort
+)
+
+// Options configures the parallel string sort.
+type Options struct {
+	// Sort selects the pair-sorting strategy (default intsort.Modeled).
+	Sort intsort.Strategy
+	// BaseCase selects the final sorter (default BaseModeledCole).
+	BaseCase Base
+}
+
+// Compare returns -1, 0 or +1 for the lexicographic order of a and b
+// (shorter strings precede their extensions).
+func Compare(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// HostSort sorts the strings sequentially (stable) and returns the
+// permutation perm with strs[perm[0]] <= strs[perm[1]] <= ... It is the
+// O(n log m)-comparison baseline.
+func HostSort(strs [][]int) []int {
+	perm := make([]int, len(strs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		return Compare(strs[perm[x]], strs[perm[y]]) < 0
+	})
+	return perm
+}
+
+// SortPRAM sorts the strings on machine m per Algorithm "sorting strings"
+// and returns the stable permutation. Symbols must be non-negative.
+func SortPRAM(mach *pram.Machine, strs [][]int, opts Options) []int {
+	k := len(strs)
+	if k == 0 {
+		return nil
+	}
+	total := 0
+	maxSym := 0
+	for _, s := range strs {
+		total += len(s)
+		for _, v := range s {
+			if v < 0 {
+				panic("strsort: negative symbol")
+			}
+			if v > maxSym {
+				maxSym = v
+			}
+		}
+	}
+	if total == 0 {
+		// All strings empty: identity is the stable sorted order.
+		perm := make([]int, k)
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm
+	}
+
+	// Flatten (strings concatenated in index order; symbols shifted +1 so
+	// 0 serves as the blank #).
+	flatVals := make([]int64, 0, total)
+	flatSid := make([]int64, 0, total)
+	flatPos := make([]int64, 0, total)
+	lens := make([]int64, k)
+	for i, s := range strs {
+		lens[i] = int64(len(s))
+		for p, v := range s {
+			flatVals = append(flatVals, int64(v+1))
+			flatSid = append(flatSid, int64(i))
+			flatPos = append(flatPos, int64(p))
+		}
+	}
+	vals := mach.NewArrayFrom(flatVals)
+	sid := mach.NewArrayFrom(flatSid)
+	pos := mach.NewArrayFrom(flatPos)
+	lenArr := mach.NewArrayFrom(lens)
+	maxVal := int64(maxSym + 1)
+
+	lg := bits.Len(uint(total))
+	cutoff := total / lg
+	if cutoff < 2 {
+		cutoff = 2
+	}
+
+	for vals.Len() > cutoff {
+		maxLen := pram.ReduceMax(mach, lenArr)
+		if maxLen <= 1 {
+			break
+		}
+		n := vals.Len()
+		head := mach.NewArray(n)
+		second := mach.NewArray(n)
+		mach.ParDo(n, func(c *pram.Ctx, p int) {
+			myPos := c.Read(pos, p)
+			if myPos%2 != 0 {
+				c.Write(head, p, 0)
+				return
+			}
+			c.Write(head, p, 1)
+			if myPos+1 < c.Read(lenArr, int(c.Read(sid, p))) {
+				c.Write(second, p, c.Read(vals, p+1))
+			} else {
+				c.Write(second, p, 0) // blank #
+			}
+		})
+		firsts := pram.Compact(mach, vals, head)
+		seconds := pram.Compact(mach, second, head)
+		newSid := pram.Compact(mach, sid, head)
+		oldPos := pram.Compact(mach, pos, head)
+
+		perm, packed := intsort.SortPairsPRAM(mach, firsts, seconds, maxVal, opts.Sort)
+		ranks, distinct := intsort.RankDistinct(mach, packed, perm, 1)
+
+		newPos := mach.NewArray(oldPos.Len())
+		mach.ParDo(oldPos.Len(), func(c *pram.Ctx, p int) {
+			c.Write(newPos, p, c.Read(oldPos, p)/2)
+		})
+		newLens := mach.NewArray(k)
+		mach.ParDo(k, func(c *pram.Ctx, p int) {
+			c.Write(newLens, p, (c.Read(lenArr, p)+1)/2)
+		})
+		vals, sid, pos, lenArr, maxVal = ranks, newSid, newPos, newLens, distinct
+	}
+
+	// Base case (Step 5): Cole's mergesort in the paper. Either modeled
+	// (host sort charged O(log k) time and O(n + k log k) operations,
+	// using the fact that two reduced strings compare in O(1) time with
+	// linear work) or the real step-by-step merge-path mergesort.
+	reduced := make([][]int, k)
+	hSid := sid.Ints()
+	hVals := vals.Ints()
+	for i, s := range hVals {
+		id := hSid[i]
+		reduced[id] = append(reduced[id], s)
+	}
+	if opts.BaseCase == BaseMergeSort {
+		return MergeSortPRAM(mach, reduced)
+	}
+	perm := HostSort(reduced)
+	lgk := int64(bits.Len(uint(k)))
+	mach.ChargeModel(2*lgk, int64(vals.Len())+int64(k)*lgk)
+	return perm
+}
+
+// BatcherComparePRAM is the comparison-based parallel baseline: Batcher's
+// odd-even mergesort network over the string ids, with every
+// compare-exchange performing a full lexicographic comparison (charged by
+// symbols actually inspected; the network needs O(log^2 m) stages). Ties
+// break by string index, so the result equals the stable permutation.
+func BatcherComparePRAM(mach *pram.Machine, strs [][]int) []int {
+	k := len(strs)
+	if k == 0 {
+		return nil
+	}
+	np := 1
+	for np < k {
+		np <<= 1
+	}
+	order := mach.NewArray(np)
+	mach.ParDo(np, func(c *pram.Ctx, p int) {
+		if p < k {
+			c.Write(order, p, int64(p))
+		} else {
+			c.Write(order, p, -1) // +infinity sentinel
+		}
+	})
+
+	exchange := func(pairs [][2]int) {
+		if len(pairs) == 0 {
+			return
+		}
+		flat := make([]int64, 2*len(pairs))
+		for i, pr := range pairs {
+			flat[2*i] = int64(pr[0])
+			flat[2*i+1] = int64(pr[1])
+		}
+		pairArr := mach.NewArrayFrom(flat)
+		mach.ParDo(len(pairs), func(c *pram.Ctx, p int) {
+			i := int(c.Read(pairArr, 2*p))
+			j := int(c.Read(pairArr, 2*p+1))
+			a, b := c.Read(order, i), c.Read(order, j)
+			if a == -1 {
+				// a is +inf: always out of order unless b is too.
+				if b != -1 {
+					c.Write(order, i, b)
+					c.Write(order, j, a)
+				}
+				return
+			}
+			if b == -1 {
+				return
+			}
+			sa, sb := strs[a], strs[b]
+			inspected := len(sa)
+			if len(sb) < inspected {
+				inspected = len(sb)
+			}
+			c.Charge(int64(inspected) + 1)
+			cmp := Compare(sa, sb)
+			if cmp > 0 || (cmp == 0 && a > b) {
+				c.Write(order, i, b)
+				c.Write(order, j, a)
+			}
+		})
+	}
+
+	// Batcher odd-even mergesort stage generation.
+	for p := 1; p < np; p <<= 1 {
+		for q := p; q >= 1; q >>= 1 {
+			var pairs [][2]int
+			for j := q % p; j+q < np; j += 2 * q {
+				for i := 0; i < q && i+j+q < np; i++ {
+					if (i+j)/(2*p) == (i+j+q)/(2*p) {
+						pairs = append(pairs, [2]int{i + j, i + j + q})
+					}
+				}
+			}
+			exchange(pairs)
+		}
+	}
+
+	out := make([]int, 0, k)
+	for _, v := range order.Ints() {
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

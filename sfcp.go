@@ -1,0 +1,222 @@
+// Package sfcp solves the single function coarsest partition problem and
+// exposes the companion circular-string algorithms, reproducing
+//
+//	J.F. JáJá and K.W. Ryu, "An efficient parallel algorithm for the single
+//	function coarsest partition problem", SPAA 1993 / Theoretical Computer
+//	Science 129 (1994) 293–307.
+//
+// Given a function f on {0..n-1} and an initial partition B (a label per
+// element), the coarsest partition Q refines B, is closed under f (each
+// block maps into a block), and has as few blocks as possible. The problem
+// is equivalent to minimizing a Moore machine with a one-letter alphabet.
+//
+// The headline algorithm runs in O(log n) time using O(n log log n)
+// operations on an Arbitrary CRCW PRAM, which this library executes on a
+// deterministic instrumented simulator (AlgorithmParallelPRAM). Sequential
+// solvers (Moore, Hopcroft, linear-time), the prior parallel baselines, and
+// a goroutine-parallel implementation are included; all return identical
+// normalized labels.
+//
+// The paper's subproblems of independent interest are exposed too: the
+// minimal starting point of a circular string (Lemma 3.7), sorting
+// variable-length strings (Lemma 3.8), and grouping equal-length strings
+// into equivalence classes (Lemma 3.11).
+package sfcp
+
+import (
+	"fmt"
+
+	"sfcp/internal/circ"
+	"sfcp/internal/coarsest"
+	"sfcp/internal/pram"
+	"sfcp/internal/strsort"
+)
+
+// Instance is a single function coarsest partition problem: F[x] = f(x)
+// with F[x] in [0, n), and B[x] >= 0 the initial-partition label of x.
+type Instance struct {
+	F []int
+	B []int
+}
+
+// Algorithm selects a solver.
+type Algorithm uint8
+
+const (
+	// AlgorithmAuto picks NativeParallel, the fastest practical solver.
+	AlgorithmAuto Algorithm = iota
+	// AlgorithmMoore is naive iterative refinement (O(n^2) worst case).
+	AlgorithmMoore
+	// AlgorithmHopcroft is partition refinement, O(n log n).
+	AlgorithmHopcroft
+	// AlgorithmLinear is the sequential linear-time cycle/tree solution.
+	AlgorithmLinear
+	// AlgorithmParallelPRAM is the paper's algorithm on the instrumented
+	// CRCW PRAM simulator (Theorem 5.1); Result.Stats reports its
+	// parallel rounds and operations.
+	AlgorithmParallelPRAM
+	// AlgorithmNativeParallel runs goroutines on real cores.
+	AlgorithmNativeParallel
+	// AlgorithmDoublingHash is the O(n log n)-work parallel baseline
+	// (Galley–Iliopoulos cost shape) on the simulator.
+	AlgorithmDoublingHash
+	// AlgorithmDoublingSort is the O(n log^2 n)-work parallel baseline
+	// (Srikant cost shape) on the simulator.
+	AlgorithmDoublingSort
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmAuto:
+		return "auto"
+	case AlgorithmMoore:
+		return "moore"
+	case AlgorithmHopcroft:
+		return "hopcroft"
+	case AlgorithmLinear:
+		return "linear"
+	case AlgorithmParallelPRAM:
+		return "parallel-pram"
+	case AlgorithmNativeParallel:
+		return "native-parallel"
+	case AlgorithmDoublingHash:
+		return "doubling-hash"
+	case AlgorithmDoublingSort:
+		return "doubling-sort"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// Stats reports the complexity counters of a simulated PRAM execution.
+type Stats struct {
+	// Rounds is the parallel time (number of synchronous steps).
+	Rounds int64
+	// Work is the operation count (processor activations plus charges).
+	Work int64
+	// MaxProcs is the largest processor count used in any single step.
+	MaxProcs int64
+	// Reads, Writes and Cells count shared-memory traffic and footprint.
+	Reads, Writes, Cells int64
+}
+
+func fromPRAM(s pram.Stats) *Stats {
+	return &Stats{Rounds: s.Rounds, Work: s.Work, MaxProcs: s.MaxProcs,
+		Reads: s.Reads, Writes: s.Writes, Cells: s.Cells}
+}
+
+// Options configures SolveWith.
+type Options struct {
+	// Algorithm selects the solver (default AlgorithmAuto).
+	Algorithm Algorithm
+	// Workers bounds host goroutines for the parallel solvers (0 = NumCPU).
+	Workers int
+	// Seed drives the simulator's deterministic arbitrary-write choices.
+	Seed uint64
+}
+
+// Result is the output of SolveWith.
+type Result struct {
+	// Labels assigns each element its Q-block, dense in [0, NumClasses)
+	// and normalized by first occurrence.
+	Labels []int
+	// NumClasses is the number of blocks of Q.
+	NumClasses int
+	// Stats holds simulator counters for the PRAM algorithms, nil
+	// otherwise.
+	Stats *Stats
+}
+
+// Solve computes the coarsest partition of (f, b) with the default solver
+// and returns the dense Q-labels.
+func Solve(f, b []int) ([]int, error) {
+	res, err := SolveWith(Instance{F: f, B: b}, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// SolveWith computes the coarsest partition with the selected algorithm.
+func SolveWith(ins Instance, opts Options) (Result, error) {
+	in := coarsest.Instance{F: ins.F, B: ins.B}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	var labels []int
+	var stats *Stats
+	switch opts.Algorithm {
+	case AlgorithmAuto, AlgorithmNativeParallel:
+		labels = coarsest.NativeParallel(in, opts.Workers)
+	case AlgorithmMoore:
+		labels = coarsest.Moore(in)
+	case AlgorithmHopcroft:
+		labels = coarsest.Hopcroft(in)
+	case AlgorithmLinear:
+		labels = coarsest.LinearSequential(in)
+	case AlgorithmParallelPRAM:
+		res := coarsest.ParallelPRAM(in, coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed})
+		labels, stats = res.Labels, fromPRAM(res.Stats)
+	case AlgorithmDoublingHash:
+		res := coarsest.DoublingHashPRAM(in, coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed})
+		labels, stats = res.Labels, fromPRAM(res.Stats)
+	case AlgorithmDoublingSort:
+		res := coarsest.DoublingSortPRAM(in, coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed})
+		labels, stats = res.Labels, fromPRAM(res.Stats)
+	default:
+		return Result{}, fmt.Errorf("sfcp: unknown algorithm %v", opts.Algorithm)
+	}
+	return Result{Labels: labels, NumClasses: coarsest.NumClasses(labels), Stats: stats}, nil
+}
+
+// MinimalRotation returns the index at which the lexicographically least
+// rotation of the circular string s starts (its minimal starting point),
+// computed sequentially in O(n) time. Returns -1 for an empty string; among
+// equivalent minimal rotations it returns the smallest index.
+func MinimalRotation(s []int) int { return circ.BoothMSP(s) }
+
+// MinimalRotationPRAM computes the minimal starting point with the paper's
+// parallel algorithm (Lemma 3.7: O(log n) time, O(n log log n) operations)
+// on the simulator and reports the measured complexity. Symbols must be
+// non-negative.
+func MinimalRotationPRAM(s []int) (int, Stats) {
+	m := pram.New(pram.ArbitraryCRCW)
+	c := m.NewArrayFromInts(s)
+	m.ResetStats()
+	idx := circ.MSPPRAM(m, c, circ.Options{})
+	return idx, *fromPRAM(m.Stats())
+}
+
+// CanonicalRotation returns the lexicographically least rotation of s,
+// the canonical form of the circular string (e.g. for necklace or ring
+// canonicalization).
+func CanonicalRotation(s []int) []int { return circ.Canonical(s) }
+
+// SmallestRepeatingPrefix returns the length of the shortest prefix P of s
+// with s = P^k; for a primitive string it returns len(s).
+func SmallestRepeatingPrefix(s []int) int { return circ.SmallestRepeatingPrefix(s) }
+
+// IsRotationOf reports whether two circular strings are cyclic shifts of
+// each other.
+func IsRotationOf(a, b []int) bool { return circ.IsRotationOf(a, b) }
+
+// SortStrings lexicographically sorts variable-length integer strings and
+// returns the stable permutation (sequential baseline).
+func SortStrings(strs [][]int) []int { return strsort.HostSort(strs) }
+
+// SortStringsPRAM sorts the strings with the paper's parallel algorithm
+// (Lemma 3.8) on the simulator, returning the stable permutation and the
+// measured complexity. Symbols must be non-negative.
+func SortStringsPRAM(strs [][]int) ([]int, Stats) {
+	m := pram.New(pram.ArbitraryCRCW)
+	m.ResetStats()
+	perm := strsort.SortPRAM(m, strs, strsort.Options{})
+	return perm, *fromPRAM(m.Stats())
+}
+
+// SamePartition reports whether two label slices induce the same partition
+// (i.e. they are equal up to renaming).
+func SamePartition(a, b []int) bool { return coarsest.SamePartition(a, b) }
+
+// NumClasses returns the number of distinct labels in a labeling.
+func NumClasses(labels []int) int { return coarsest.NumClasses(labels) }
