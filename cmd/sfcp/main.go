@@ -10,11 +10,13 @@
 //
 // Usage:
 //
-//	sfcp [-algo auto|moore|hopcroft|linear|parallel-pram|native-parallel|doubling-hash|doubling-sort] [-in file] [-stats]
+//	sfcp [-algo auto|moore|hopcroft|linear|parallel-pram|native-parallel|doubling-hash|doubling-sort]
+//	     [-in file] [-stats] [-workers n] [-seed s]
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,8 @@ func main() {
 	algoName := flag.String("algo", "auto", "solver algorithm")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	stats := flag.Bool("stats", false, "print PRAM complexity counters to stderr")
+	workers := flag.Int("workers", 0, "host goroutines for the parallel solvers (0 = NumCPU)")
+	seed := flag.Uint64("seed", 0, "simulator seed for the PRAM algorithms")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -51,7 +55,7 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	res, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: algo})
+	res, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: algo, Workers: *workers, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -69,30 +73,24 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "n=%d classes=%d algo=%s wall=%v\n",
 		len(res.Labels), res.NumClasses, algo, elapsed.Round(time.Microsecond))
-	if *stats && res.Stats != nil {
-		fmt.Fprintf(os.Stderr, "rounds=%d work=%d maxprocs=%d reads=%d writes=%d cells=%d\n",
-			res.Stats.Rounds, res.Stats.Work, res.Stats.MaxProcs,
-			res.Stats.Reads, res.Stats.Writes, res.Stats.Cells)
+	if *stats {
+		if res.Stats != nil {
+			fmt.Fprintf(os.Stderr, "rounds=%d work=%d maxprocs=%d reads=%d writes=%d cells=%d\n",
+				res.Stats.Rounds, res.Stats.Work, res.Stats.MaxProcs,
+				res.Stats.Reads, res.Stats.Writes, res.Stats.Cells)
+		} else {
+			fmt.Fprintf(os.Stderr, "sfcp: -stats: algorithm %s reports no simulator stats (use parallel-pram, doubling-hash or doubling-sort)\n", algo)
+		}
 	}
 }
 
 func parseAlgo(name string) (sfcp.Algorithm, error) {
-	algos := []sfcp.Algorithm{
-		sfcp.AlgorithmAuto, sfcp.AlgorithmMoore, sfcp.AlgorithmHopcroft,
-		sfcp.AlgorithmLinear, sfcp.AlgorithmParallelPRAM,
-		sfcp.AlgorithmNativeParallel, sfcp.AlgorithmDoublingHash,
-		sfcp.AlgorithmDoublingSort,
+	a, err := sfcp.ParseAlgorithm(name)
+	if err != nil {
+		// fatal() prefixes "sfcp:" already; drop the library's.
+		return 0, errors.New(strings.TrimPrefix(err.Error(), "sfcp: "))
 	}
-	for _, a := range algos {
-		if a.String() == name {
-			return a, nil
-		}
-	}
-	var names []string
-	for _, a := range algos {
-		names = append(names, a.String())
-	}
-	return 0, fmt.Errorf("unknown algorithm %q (want one of %s)", name, strings.Join(names, ", "))
+	return a, nil
 }
 
 func readInstance(r io.Reader) (sfcp.Instance, error) {

@@ -1,0 +1,83 @@
+// Command sfcpd serves single function coarsest partition solving over
+// HTTP JSON. Instances are scheduled onto bounded per-algorithm worker
+// pools and results are cached by instance digest.
+//
+// Endpoints:
+//
+//	POST /solve        {"algorithm":"auto","f":[1,0],"b":[0,1],"seed":0}
+//	POST /solve/batch  {"algorithm":"auto","instances":[{...},...]}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Usage:
+//
+//	sfcpd [-addr :8080] [-pool-workers 2] [-queue 8] [-cache 1024]
+//	      [-max-n 1048576] [-max-batch 256] [-workers 0] [-seed 0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sfcp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	poolWorkers := flag.Int("pool-workers", 2, "solver goroutines per algorithm queue")
+	queue := flag.Int("queue", 0, "pending jobs per algorithm queue (0 = 4x pool-workers)")
+	cacheSize := flag.Int("cache", 1024, "result cache entries (negative disables)")
+	maxN := flag.Int("max-n", 1<<20, "largest accepted instance size")
+	maxBatch := flag.Int("max-batch", 256, "largest accepted batch")
+	workers := flag.Int("workers", 0, "host goroutines per solve (0 = NumCPU)")
+	seed := flag.Uint64("seed", 0, "default simulator seed")
+	maxBody := flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		WorkersPerAlgorithm: *poolWorkers,
+		QueueDepth:          *queue,
+		CacheSize:           *cacheSize,
+		MaxN:                *maxN,
+		MaxBatch:            *maxBatch,
+		Workers:             *workers,
+		Seed:                *seed,
+		MaxBodyBytes:        *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errC := make(chan error, 1)
+	go func() { errC <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sfcpd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errC:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "sfcpd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfcpd:", err)
+	os.Exit(1)
+}

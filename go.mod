@@ -1,0 +1,3 @@
+module sfcp
+
+go 1.24

@@ -9,6 +9,58 @@ import (
 	"sfcp/internal/par"
 )
 
+// Scratch holds the working buffers of NativeParallel so repeated solves
+// (batch serving, benchmark loops) reuse one arena instead of reallocating
+// ~13 n-sized slices per call. A Scratch is not safe for concurrent use;
+// callers wanting concurrency keep one per worker (e.g. via sync.Pool).
+// The zero value is ready to use.
+type Scratch struct {
+	i32               [][]int32
+	i64               [][]int64
+	bools             [][]bool
+	ni32, ni64, nbool int
+}
+
+func (s *Scratch) reset() { s.ni32, s.ni64, s.nbool = 0, 0, 0 }
+
+// bufI32 hands out the next zeroed int32 buffer of length n, growing the
+// arena on first use (and whenever n outgrows a stored buffer).
+func (s *Scratch) bufI32(n int) []int32 {
+	if s.ni32 == len(s.i32) {
+		s.i32 = append(s.i32, make([]int32, n))
+	} else if cap(s.i32[s.ni32]) < n {
+		s.i32[s.ni32] = make([]int32, n)
+	}
+	buf := s.i32[s.ni32][:n]
+	clear(buf)
+	s.ni32++
+	return buf
+}
+
+func (s *Scratch) bufI64(n int) []int64 {
+	if s.ni64 == len(s.i64) {
+		s.i64 = append(s.i64, make([]int64, n))
+	} else if cap(s.i64[s.ni64]) < n {
+		s.i64[s.ni64] = make([]int64, n)
+	}
+	buf := s.i64[s.ni64][:n]
+	clear(buf)
+	s.ni64++
+	return buf
+}
+
+func (s *Scratch) bufBool(n int) []bool {
+	if s.nbool == len(s.bools) {
+		s.bools = append(s.bools, make([]bool, n))
+	} else if cap(s.bools[s.nbool]) < n {
+		s.bools[s.nbool] = make([]bool, n)
+	}
+	buf := s.bools[s.nbool][:n]
+	clear(buf)
+	s.nbool++
+	return buf
+}
+
 // NativeParallel solves the coarsest partition problem with plain
 // goroutines on real cores — the engineering counterpart of ParallelPRAM
 // used for wall-clock measurements (experiment E8). Structure discovery
@@ -17,17 +69,28 @@ import (
 // the forest is labeled by parallel code doubling through a sharded
 // concurrent dictionary. Output equals the other solvers'.
 func NativeParallel(ins Instance, workers int) []int {
+	return NativeParallelScratch(ins, workers, nil)
+}
+
+// NativeParallelScratch is NativeParallel with caller-provided scratch
+// buffers; sc may be nil (a fresh arena is used). Only the returned labels
+// escape — every internal vector comes from sc.
+func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 	n := len(ins.F)
 	if n == 0 {
 		return []int{}
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.reset()
 	workers = par.Workers(workers)
 	f, b := ins.F, ins.B
 
 	// Phase 1: cycle nodes = the image of f^N for any N >= n, found by
 	// parallel pointer doubling.
-	g := make([]int32, n)
-	tmp := make([]int32, n)
+	g := sc.bufI32(n)
+	tmp := sc.bufI32(n)
 	par.For(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g[i] = int32(f[i])
@@ -41,7 +104,7 @@ func NativeParallel(ins Instance, workers int) []int {
 		})
 		g, tmp = tmp, g
 	}
-	onCycle := make([]int32, n)
+	onCycle := sc.bufI32(n)
 	par.For(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.StoreInt32(&onCycle[g[i]], 1)
@@ -49,10 +112,10 @@ func NativeParallel(ins Instance, workers int) []int {
 	})
 
 	// Phase 2: tree roots and levels by doubling with distance carrying.
-	jump := make([]int32, n)
-	dist := make([]int32, n)
-	jtmp := make([]int32, n)
-	dtmp := make([]int32, n)
+	jump := sc.bufI32(n)
+	dist := sc.bufI32(n)
+	jtmp := sc.bufI32(n)
+	dtmp := sc.bufI32(n)
 	par.For(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if onCycle[i] != 0 {
@@ -80,9 +143,9 @@ func NativeParallel(ins Instance, workers int) []int {
 	// Phase 3: enumerate cycles (cheap sequential pass over cycle nodes),
 	// then canonize every cycle in parallel.
 	var cycles [][]int
-	rankOf := make([]int32, n)
-	cycleID := make([]int32, n)
-	seen := make([]bool, n)
+	rankOf := sc.bufI32(n)
+	cycleID := sc.bufI32(n)
+	seen := sc.bufBool(n)
 	for s := 0; s < n; s++ {
 		if onCycle[s] == 0 || seen[s] {
 			continue
@@ -150,7 +213,7 @@ func NativeParallel(ins Instance, workers int) []int {
 		tagFinalQ = -5
 		tagFinalU = -6
 	)
-	code := make([]int64, n)
+	code := sc.bufI64(n)
 	par.For(workers, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if onCycle[x] == 0 {
@@ -167,8 +230,8 @@ func NativeParallel(ins Instance, workers int) []int {
 
 	// Phase 4: Lemma 4.1 marking. matches[x] for tree nodes; then OR of
 	// mismatches along the tree path by doubling.
-	bad := make([]int32, n)
-	correspQ := make([]int64, n)
+	bad := sc.bufI32(n)
+	correspQ := sc.bufI64(n)
 	par.For(workers, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if onCycle[x] != 0 {
@@ -190,9 +253,9 @@ func NativeParallel(ins Instance, workers int) []int {
 		}
 	})
 	// OR-doubling along tree parents (cycle nodes are fixpoints, bad=0).
-	jb := make([]int32, n)
-	jbTmp := make([]int32, n)
-	badTmp := make([]int32, n)
+	jb := sc.bufI32(n)
+	jbTmp := sc.bufI32(n)
+	badTmp := sc.bufI32(n)
 	par.For(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if onCycle[i] != 0 {
@@ -219,7 +282,7 @@ func NativeParallel(ins Instance, workers int) []int {
 		bad, badTmp = badTmp, bad
 		jb, jbTmp = jbTmp, jb
 	}
-	labeled := make([]bool, n)
+	labeled := sc.bufBool(n)
 	par.For(workers, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			labeled[x] = onCycle[x] != 0 || bad[x] == 0
@@ -227,10 +290,10 @@ func NativeParallel(ins Instance, workers int) []int {
 	})
 
 	// Phase 5: Lemma 4.2 coding for unmarked nodes by code doubling.
-	pcode := make([]int64, n)
-	pj := make([]int32, n)
-	pcTmp := make([]int64, n)
-	pjTmp := make([]int32, n)
+	pcode := sc.bufI64(n)
+	pj := sc.bufI32(n)
+	pcTmp := sc.bufI64(n)
+	pjTmp := sc.bufI32(n)
 	par.For(workers, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if labeled[x] {
@@ -264,7 +327,7 @@ func NativeParallel(ins Instance, workers int) []int {
 	}
 
 	// Final keys and dense renaming.
-	keys := make([]int64, n)
+	keys := sc.bufI64(n)
 	par.For(workers, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if labeled[x] {

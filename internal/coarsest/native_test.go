@@ -179,3 +179,23 @@ func TestChoHuynhQuadraticWork(t *testing.T) {
 		t.Errorf("4x n grew work only %.1fx, want ~16x (quadratic)", ratio)
 	}
 }
+
+func TestNativeParallelScratchReuse(t *testing.T) {
+	// One arena across many instances of varying size and shape must give
+	// exactly the labels of a fresh run (stale buffer contents must not
+	// leak between solves).
+	rng := rand.New(rand.NewSource(78))
+	var sc Scratch
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(120)
+		ins := randomInstance(rng, n, 1+rng.Intn(4))
+		got := NativeParallelScratch(ins, 4, &sc)
+		want := NativeParallel(ins, 4)
+		if !SamePartition(got, want) {
+			t.Fatalf("trial %d: scratch run diverged: got %v, want %v", trial, got, want)
+		}
+	}
+	if got := NativeParallelScratch(Instance{F: []int{}, B: []int{}}, 0, &sc); len(got) != 0 {
+		t.Fatal("empty instance with scratch")
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"sfcp"
+)
+
+// resultCache is a bounded LRU over solve results keyed by
+// (algorithm, seed, instance digest). Results are immutable once stored —
+// handlers must not mutate the Labels slice they get back.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res sfcp.Result
+}
+
+// newResultCache returns a cache holding up to capacity results;
+// capacity <= 0 disables caching (Get always misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+func (c *resultCache) Get(key string) (sfcp.Result, bool) {
+	if c.cap <= 0 {
+		return sfcp.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return sfcp.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) Put(key string, res sfcp.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

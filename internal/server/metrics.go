@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics aggregates the counters exposed at /metrics: per-route request
+// and error totals, cache traffic, and per-algorithm solve statistics
+// (count, cumulative latency, max latency). Everything is guarded by one
+// mutex — the handlers touch it a handful of times per request, far from
+// contention territory.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]int64 // by route
+	errors    map[string]int64 // by route
+	cacheHits int64
+	cacheMiss int64
+	solves    map[string]*solveStats // by algorithm name
+}
+
+type solveStats struct {
+	count   int64
+	errors  int64
+	total   time.Duration
+	max     time.Duration
+	classes int64 // cumulative, to expose mean classes per solve
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]int64{},
+		errors:   map[string]int64{},
+		solves:   map[string]*solveStats{},
+	}
+}
+
+func (m *metrics) request(route string) {
+	m.mu.Lock()
+	m.requests[route]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) error(route string) {
+	m.mu.Lock()
+	m.errors[route]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.cacheHits++
+	} else {
+		m.cacheMiss++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) solve(algo string, elapsed time.Duration, classes int, err error) {
+	m.mu.Lock()
+	s := m.solves[algo]
+	if s == nil {
+		s = &solveStats{}
+		m.solves[algo] = s
+	}
+	if err != nil {
+		s.errors++
+	} else {
+		s.count++
+		s.total += elapsed
+		if elapsed > s.max {
+			s.max = elapsed
+		}
+		s.classes += int64(classes)
+	}
+	m.mu.Unlock()
+}
+
+// render writes the counters in Prometheus text exposition format.
+func (m *metrics) render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	emit("# TYPE sfcpd_requests_total counter\n")
+	for _, route := range sortedKeys(m.requests) {
+		emit("sfcpd_requests_total{route=%q} %d\n", route, m.requests[route])
+	}
+	emit("# TYPE sfcpd_errors_total counter\n")
+	for _, route := range sortedKeys(m.errors) {
+		emit("sfcpd_errors_total{route=%q} %d\n", route, m.errors[route])
+	}
+	emit("# TYPE sfcpd_cache_hits_total counter\nsfcpd_cache_hits_total %d\n", m.cacheHits)
+	emit("# TYPE sfcpd_cache_misses_total counter\nsfcpd_cache_misses_total %d\n", m.cacheMiss)
+	emit("# TYPE sfcpd_solves_total counter\n")
+	for _, algo := range sortedKeys(m.solves) {
+		s := m.solves[algo]
+		emit("sfcpd_solves_total{algorithm=%q} %d\n", algo, s.count)
+	}
+	emit("# TYPE sfcpd_solve_errors_total counter\n")
+	for _, algo := range sortedKeys(m.solves) {
+		emit("sfcpd_solve_errors_total{algorithm=%q} %d\n", algo, m.solves[algo].errors)
+	}
+	emit("# TYPE sfcpd_solve_seconds_sum counter\n")
+	for _, algo := range sortedKeys(m.solves) {
+		emit("sfcpd_solve_seconds_sum{algorithm=%q} %g\n", algo, m.solves[algo].total.Seconds())
+	}
+	emit("# TYPE sfcpd_solve_seconds_max gauge\n")
+	for _, algo := range sortedKeys(m.solves) {
+		emit("sfcpd_solve_seconds_max{algorithm=%q} %g\n", algo, m.solves[algo].max.Seconds())
+	}
+	emit("# TYPE sfcpd_solve_classes_sum counter\n")
+	for _, algo := range sortedKeys(m.solves) {
+		emit("sfcpd_solve_classes_sum{algorithm=%q} %d\n", algo, m.solves[algo].classes)
+	}
+	return string(b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

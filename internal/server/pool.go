@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sfcp"
+)
+
+// errShutdown is returned by submit once the pool is closed.
+var errShutdown = errors.New("server: pool shut down")
+
+// pool schedules solve jobs onto bounded per-algorithm worker sets: each
+// algorithm gets its own queue and its own fixed crew of workers, so a
+// burst of slow simulator jobs (parallel-pram on a huge instance) cannot
+// starve the cheap sequential queues. Queues are bounded; when one is full,
+// submit blocks — callers pass a request context to bound the wait.
+type pool struct {
+	queues  map[sfcp.Algorithm]chan *poolTask
+	done    chan struct{}
+	closing sync.Once
+	wg      sync.WaitGroup
+}
+
+type poolTask struct {
+	ctx  context.Context
+	run  func() (sfcp.Result, error)
+	resC chan poolResult // buffered: workers never block on delivery
+}
+
+type poolResult struct {
+	res sfcp.Result
+	err error
+}
+
+// newPool starts workersPerAlgo workers for every algorithm, each draining
+// a queue of depth queueDepth.
+func newPool(workersPerAlgo, queueDepth int) *pool {
+	p := &pool{
+		queues: map[sfcp.Algorithm]chan *poolTask{},
+		done:   make(chan struct{}),
+	}
+	for _, algo := range sfcp.Algorithms() {
+		q := make(chan *poolTask, queueDepth)
+		p.queues[algo] = q
+		for w := 0; w < workersPerAlgo; w++ {
+			p.wg.Add(1)
+			go p.worker(q)
+		}
+	}
+	return p
+}
+
+func (p *pool) worker(q chan *poolTask) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case t := <-q:
+			// Don't burn a worker on a task whose submitter already gave
+			// up while it sat in the queue (client timeout + retry storms
+			// would otherwise pay for every abandoned predecessor).
+			if err := t.ctx.Err(); err != nil {
+				t.resC <- poolResult{err: err}
+				continue
+			}
+			res, err := t.run()
+			t.resC <- poolResult{res: res, err: err}
+		}
+	}
+}
+
+// submit enqueues run on the algorithm's queue and waits for its result.
+// It respects ctx both while queued and while waiting: an abandoned waiter
+// does not block the worker (the result channel is buffered).
+func (p *pool) submit(ctx context.Context, algo sfcp.Algorithm, run func() (sfcp.Result, error)) (sfcp.Result, error) {
+	q, ok := p.queues[algo]
+	if !ok {
+		return sfcp.Result{}, fmt.Errorf("server: no queue for algorithm %v", algo)
+	}
+	t := &poolTask{ctx: ctx, run: run, resC: make(chan poolResult, 1)}
+	select {
+	case q <- t:
+	case <-ctx.Done():
+		return sfcp.Result{}, ctx.Err()
+	case <-p.done:
+		return sfcp.Result{}, errShutdown
+	}
+	select {
+	case r := <-t.resC:
+		return r.res, r.err
+	case <-ctx.Done():
+		return sfcp.Result{}, ctx.Err()
+	case <-p.done:
+		return sfcp.Result{}, errShutdown
+	}
+}
+
+// close stops the workers; queued-but-unstarted tasks are dropped (their
+// submitters get errShutdown).
+func (p *pool) close() {
+	p.closing.Do(func() { close(p.done) })
+	p.wg.Wait()
+}

@@ -1,0 +1,316 @@
+// Package server implements sfcpd's HTTP JSON API: a batching
+// partition-solving service over the sfcp library. Endpoints:
+//
+//	POST /solve        one instance
+//	POST /solve/batch  many instances, solved concurrently
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus-style counters
+//
+// Requests are scheduled onto bounded per-algorithm worker pools and
+// results are memoized in an LRU keyed by (algorithm, seed, instance
+// digest), so hot instances — the "millions of users asking the same
+// question" regime — are served without recomputation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sfcp"
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// WorkersPerAlgorithm is the number of solver goroutines dedicated to
+	// each algorithm's queue (default 2).
+	WorkersPerAlgorithm int
+	// QueueDepth bounds each algorithm's pending-job queue
+	// (default 4 * WorkersPerAlgorithm).
+	QueueDepth int
+	// CacheSize bounds the result LRU in entries (default 1024; negative
+	// disables caching).
+	CacheSize int
+	// MaxN rejects instances larger than this many elements (default 1<<20).
+	MaxN int
+	// MaxBatch rejects batches with more members than this (default 256).
+	MaxBatch int
+	// Workers is the host-goroutine budget per solve (0 = NumCPU).
+	Workers int
+	// Seed is the default simulator seed; requests may override it.
+	Seed uint64
+	// MaxBodyBytes bounds a request body before JSON decoding (default
+	// 64 MiB) — MaxN and MaxBatch only cut in after a body has been
+	// decoded, so this is the limit that actually bounds memory.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkersPerAlgorithm <= 0 {
+		c.WorkersPerAlgorithm = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.WorkersPerAlgorithm
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// SolveRequest is the JSON body of POST /solve and a member of a batch.
+type SolveRequest struct {
+	// Algorithm names the solver (Algorithm.String values); empty means
+	// the batch default, or "auto".
+	Algorithm string `json:"algorithm,omitempty"`
+	// F is the function table: F[x] in [0, n).
+	F []int `json:"f"`
+	// B is the initial partition label per element.
+	B []int `json:"b"`
+	// Seed overrides the server's simulator seed when set.
+	Seed *uint64 `json:"seed,omitempty"`
+}
+
+// SolveResponse is the JSON reply for one instance.
+type SolveResponse struct {
+	Algorithm  string      `json:"algorithm"`
+	Labels     []int       `json:"labels,omitempty"`
+	NumClasses int         `json:"num_classes"`
+	Cached     bool        `json:"cached"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Stats      *sfcp.Stats `json:"stats,omitempty"`
+	Error      string      `json:"error,omitempty"`
+
+	// transient marks server-side failures (shutdown, cancellation) that
+	// deserve a 503 rather than a 400; never serialized.
+	transient bool
+}
+
+// BatchRequest is the JSON body of POST /solve/batch.
+type BatchRequest struct {
+	// Algorithm is the default solver for members that leave theirs empty.
+	Algorithm string         `json:"algorithm,omitempty"`
+	Instances []SolveRequest `json:"instances"`
+}
+
+// BatchResponse holds positional results; failed members carry Error and
+// do not fail their siblings.
+type BatchResponse struct {
+	Results []SolveResponse `json:"results"`
+	Errors  int             `json:"errors"`
+}
+
+// Server is the http.Handler implementing the sfcpd API.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *pool
+	cache   *resultCache
+	metrics *metrics
+	solvers map[sfcp.Algorithm]*sfcp.Solver
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pool:    newPool(cfg.WorkersPerAlgorithm, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		solvers: map[sfcp.Algorithm]*sfcp.Solver{},
+	}
+	for _, algo := range sfcp.Algorithms() {
+		s.solvers[algo] = sfcp.NewSolver(sfcp.Options{
+			Algorithm: algo, Workers: cfg.Workers, Seed: cfg.Seed,
+		})
+	}
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool. In-flight requests finish; queued ones fail.
+func (s *Server) Close() { s.pool.close() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("healthz")
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("metrics")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.render())
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("solve")
+	if r.Method != http.MethodPost {
+		s.fail(w, "solve", http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SolveRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.fail(w, "solve", decodeStatus(err), err.Error())
+		return
+	}
+	resp := s.solveOne(r.Context(), req, "")
+	if resp.Error != "" {
+		code := http.StatusBadRequest
+		if resp.transient {
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, "solve", code, resp.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("batch")
+	if r.Method != http.MethodPost {
+		s.fail(w, "batch", http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.fail(w, "batch", decodeStatus(err), err.Error())
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.fail(w, "batch", http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Instances) > s.cfg.MaxBatch {
+		s.fail(w, "batch", http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Instances), s.cfg.MaxBatch))
+		return
+	}
+	resp := BatchResponse{Results: make([]SolveResponse, len(req.Instances))}
+	var wg sync.WaitGroup
+	for i := range req.Instances {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Results[i] = s.solveOne(r.Context(), req.Instances[i], req.Algorithm)
+		}(i)
+	}
+	wg.Wait()
+	for i := range resp.Results {
+		if resp.Results[i].Error != "" {
+			resp.Errors++
+		}
+	}
+	if resp.Errors > 0 {
+		s.metrics.error("batch")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveOne resolves algorithm and seed, consults the cache, and otherwise
+// schedules the solve on the algorithm's worker queue. It never panics the
+// handler: problems come back in SolveResponse.Error.
+func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo string) SolveResponse {
+	name := req.Algorithm
+	if name == "" {
+		name = defaultAlgo
+	}
+	if name == "" {
+		name = sfcp.AlgorithmAuto.String()
+	}
+	algo, err := sfcp.ParseAlgorithm(name)
+	if err != nil {
+		return SolveResponse{Algorithm: name, Error: err.Error()}
+	}
+	resp := SolveResponse{Algorithm: algo.String()}
+	if len(req.F) > s.cfg.MaxN {
+		resp.Error = fmt.Sprintf("instance of %d elements exceeds limit %d", len(req.F), s.cfg.MaxN)
+		return resp
+	}
+	seed := s.cfg.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	ins := sfcp.Instance{F: req.F, B: req.B}
+	key := fmt.Sprintf("%s/%d/%s", algo, seed, ins.Digest())
+	if res, ok := s.cache.Get(key); ok {
+		s.metrics.cache(true)
+		resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, true
+		return resp
+	}
+	s.metrics.cache(false)
+
+	start := time.Now()
+	res, err := s.pool.submit(ctx, algo, func() (sfcp.Result, error) {
+		if seed == s.cfg.Seed {
+			return s.solvers[algo].Solve(ins)
+		}
+		return sfcp.SolveWith(ins, sfcp.Options{Algorithm: algo, Workers: s.cfg.Workers, Seed: seed})
+	})
+	elapsed := time.Since(start)
+	s.metrics.solve(algo.String(), elapsed, res.NumClasses, err)
+	if err != nil {
+		resp.Error = err.Error()
+		resp.transient = errors.Is(err, errShutdown) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		return resp
+	}
+	s.cache.Put(key, res)
+	resp.Labels, resp.NumClasses, resp.Stats = res.Labels, res.NumClasses, res.Stats
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	return resp
+}
+
+func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string) {
+	s.metrics.error(route)
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// decodeJSON parses the body under the configured byte limit, so oversized
+// payloads are cut off while streaming instead of after a full decode.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing data")
+	}
+	return nil
+}
+
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -105,7 +105,7 @@ func fromPRAM(s pram.Stats) *Stats {
 		Reads: s.Reads, Writes: s.Writes, Cells: s.Cells}
 }
 
-// Options configures SolveWith.
+// Options configures SolveWith and NewSolver.
 type Options struct {
 	// Algorithm selects the solver (default AlgorithmAuto).
 	Algorithm Algorithm
@@ -113,6 +113,9 @@ type Options struct {
 	Workers int
 	// Seed drives the simulator's deterministic arbitrary-write choices.
 	Seed uint64
+	// Parallelism bounds how many batch members a Solver runs concurrently
+	// in SolveBatch (0 = NumCPU). Ignored by SolveWith.
+	Parallelism int
 }
 
 // Result is the output of SolveWith.
@@ -143,6 +146,11 @@ func SolveWith(ins Instance, opts Options) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	return solveValidated(in, opts)
+}
+
+// solveValidated dispatches on the algorithm; in must already be validated.
+func solveValidated(in coarsest.Instance, opts Options) (Result, error) {
 	var labels []int
 	var stats *Stats
 	switch opts.Algorithm {

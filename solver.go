@@ -1,0 +1,168 @@
+package sfcp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"sfcp/internal/coarsest"
+	"sfcp/internal/par"
+)
+
+// Algorithms lists every solver in declaration order — the canonical
+// enumeration for CLIs, servers and tests.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmAuto, AlgorithmMoore, AlgorithmHopcroft, AlgorithmLinear,
+		AlgorithmParallelPRAM, AlgorithmNativeParallel, AlgorithmDoublingHash,
+		AlgorithmDoublingSort,
+	}
+}
+
+// ParseAlgorithm maps a name (as printed by Algorithm.String) back to its
+// Algorithm value.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("sfcp: unknown algorithm %q (want one of %s)", name, algorithmNames())
+}
+
+func algorithmNames() string {
+	s := ""
+	for i, a := range Algorithms() {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s
+}
+
+// Digest returns a stable hex-encoded SHA-256 content address of the
+// instance, suitable as a cache key: two instances share a digest iff they
+// have identical F and B. Lengths are folded in, so (F, B) boundaries are
+// unambiguous.
+func (ins Instance) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(len(ins.F))
+	for _, v := range ins.F {
+		writeInt(v)
+	}
+	writeInt(len(ins.B))
+	for _, v := range ins.B {
+		writeInt(v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Solver is a reusable solving engine. Unlike the one-shot SolveWith it
+// amortizes allocations across calls (the native-parallel working set is
+// recycled through a per-worker scratch arena) and runs batch members
+// concurrently under a bounded parallelism budget. A Solver is safe for
+// concurrent use by multiple goroutines.
+type Solver struct {
+	opts    Options
+	sem     chan struct{} // bounds in-flight batch members across all calls
+	scratch sync.Pool     // *coarsest.Scratch, reused by native-parallel solves
+}
+
+// NewSolver returns a Solver that applies opts to every Solve and
+// SolveBatch call. opts.Parallelism bounds how many batch members run at
+// once (0 = NumCPU).
+func NewSolver(opts Options) *Solver {
+	p := par.Workers(opts.Parallelism)
+	return &Solver{
+		opts: opts,
+		sem:  make(chan struct{}, p),
+		scratch: sync.Pool{New: func() any {
+			return new(coarsest.Scratch)
+		}},
+	}
+}
+
+// Options returns the options the solver was built with.
+func (s *Solver) Options() Options { return s.opts }
+
+// Solve computes the coarsest partition of one instance.
+func (s *Solver) Solve(ins Instance) (Result, error) {
+	in := coarsest.Instance{F: ins.F, B: ins.B}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	return s.solveValidated(in, s.opts.Workers)
+}
+
+func (s *Solver) solveValidated(in coarsest.Instance, workers int) (Result, error) {
+	switch s.opts.Algorithm {
+	case AlgorithmAuto, AlgorithmNativeParallel:
+		sc := s.scratch.Get().(*coarsest.Scratch)
+		labels := coarsest.NativeParallelScratch(in, workers, sc)
+		s.scratch.Put(sc)
+		return Result{Labels: labels, NumClasses: coarsest.NumClasses(labels)}, nil
+	default:
+		opts := s.opts
+		opts.Workers = workers
+		return solveValidated(in, opts)
+	}
+}
+
+// SolveBatch solves every instance with the solver's algorithm, running up
+// to Parallelism members concurrently. The host-worker budget (Workers) is
+// split across concurrent members so a batch never oversubscribes the
+// machine beyond a single wide solve. Results are positional. The first
+// invalid instance aborts the batch with an error naming its index; the
+// returned results slice is nil in that case.
+func (s *Solver) SolveBatch(instances []Instance) ([]Result, error) {
+	validated := make([]coarsest.Instance, len(instances))
+	for i, ins := range instances {
+		validated[i] = coarsest.Instance{F: ins.F, B: ins.B}
+		if err := validated[i].Validate(); err != nil {
+			return nil, fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+	results := make([]Result, len(instances))
+	errs := make([]error, len(instances))
+
+	// Split the worker budget over the members that can run at once.
+	inflight := cap(s.sem)
+	if len(instances) < inflight {
+		inflight = len(instances)
+	}
+	perMember := 0
+	if inflight > 0 {
+		perMember = par.Workers(s.opts.Workers) / inflight
+		if perMember < 1 {
+			perMember = 1
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range instances {
+		s.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-s.sem
+				wg.Done()
+			}()
+			results[i], errs[i] = s.solveValidated(validated[i], perMember)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,122 @@
+package sfcp_test
+
+import (
+	"strings"
+	"testing"
+
+	"sfcp"
+	"sfcp/internal/workload"
+)
+
+func wl(ins workload.Instance) sfcp.Instance {
+	return sfcp.Instance{F: ins.F, B: ins.B}
+}
+
+func TestSolverMatchesSolveWithAllAlgorithms(t *testing.T) {
+	instances := []sfcp.Instance{
+		wl(workload.RandomFunction(1, 300, 3)),
+		wl(workload.CycleFamily(2, 4, 25, 5)),
+		wl(workload.Broom(3, 200, 20, 4)),
+		wl(workload.Star(4, 100, 2)),
+	}
+	for _, algo := range sfcp.Algorithms() {
+		s := sfcp.NewSolver(sfcp.Options{Algorithm: algo, Seed: 7})
+		for i, ins := range instances {
+			got, err := s.Solve(ins)
+			if err != nil {
+				t.Fatalf("%v instance %d: %v", algo, i, err)
+			}
+			want, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: sfcp.AlgorithmLinear})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sfcp.SamePartition(got.Labels, want.Labels) {
+				t.Errorf("%v instance %d: partition mismatch", algo, i)
+			}
+			if got.NumClasses != want.NumClasses {
+				t.Errorf("%v instance %d: classes %d, want %d", algo, i, got.NumClasses, want.NumClasses)
+			}
+		}
+	}
+}
+
+func TestSolveBatchMatchesSequentialSolves(t *testing.T) {
+	s := sfcp.NewSolver(sfcp.Options{Workers: 4, Parallelism: 3})
+	var batch []sfcp.Instance
+	for seed := int64(0); seed < 12; seed++ {
+		batch = append(batch, wl(workload.RandomFunction(seed, 50+int(seed)*30, 2+int(seed)%3)))
+	}
+	// Run twice so scratch arenas are actually recycled between calls.
+	for round := 0; round < 2; round++ {
+		results, err := s.SolveBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(batch) {
+			t.Fatalf("got %d results, want %d", len(results), len(batch))
+		}
+		for i, res := range results {
+			want, err := s.Solve(batch[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sfcp.SamePartition(res.Labels, want.Labels) {
+				t.Errorf("round %d member %d: batch result diverges from single solve", round, i)
+			}
+		}
+	}
+}
+
+func TestSolveBatchEmptyAndInvalid(t *testing.T) {
+	s := sfcp.NewSolver(sfcp.Options{})
+	if res, err := s.SolveBatch(nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	bad := []sfcp.Instance{
+		wl(workload.Star(1, 10, 2)),
+		{F: []int{5}, B: []int{0}}, // F out of range
+	}
+	_, err := s.SolveBatch(bad)
+	if err == nil {
+		t.Fatal("invalid member accepted")
+	}
+	if !strings.Contains(err.Error(), "instance 1") {
+		t.Errorf("error %q does not name the offending index", err)
+	}
+}
+
+func TestSolverUnknownAlgorithm(t *testing.T) {
+	s := sfcp.NewSolver(sfcp.Options{Algorithm: sfcp.Algorithm(99)})
+	if _, err := s.Solve(wl(workload.Star(1, 5, 2))); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range sfcp.Algorithms() {
+		got, err := sfcp.ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := sfcp.ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestInstanceDigest(t *testing.T) {
+	a := sfcp.Instance{F: []int{0, 1}, B: []int{1, 0}}
+	b := sfcp.Instance{F: []int{0, 1}, B: []int{1, 0}}
+	if a.Digest() != b.Digest() {
+		t.Error("equal instances digest differently")
+	}
+	// Moving an element across the F/B boundary must change the digest.
+	c := sfcp.Instance{F: []int{0, 1, 1}, B: []int{0}}
+	d := sfcp.Instance{F: []int{0, 1}, B: []int{1, 0}}
+	if c.Digest() == d.Digest() {
+		t.Error("F/B boundary not folded into digest")
+	}
+	if (sfcp.Instance{F: []int{0}, B: []int{5}}).Digest() == a.Digest() {
+		t.Error("different instances share a digest")
+	}
+}
