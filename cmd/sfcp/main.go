@@ -1,6 +1,9 @@
 // Command sfcp solves single function coarsest partition instances.
 //
-// Input format (whitespace separated, read from stdin or -in file):
+// Input (stdin or -in file) is auto-detected: a stream beginning with the
+// "SFCP" magic is decoded as the binary wire format of internal/codec
+// (as emitted by sfcpgen -format bin), anything else parses as the
+// whitespace text format:
 //
 //	n
 //	f(0) f(1) ... f(n-1)      (0-based)
@@ -45,7 +48,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	ins, err := readInstance(in)
+	ins, err := readAny(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,6 +96,18 @@ func parseAlgo(name string) (sfcp.Algorithm, error) {
 	return a, nil
 }
 
+// readAny sniffs the input format: the binary wire format is recognized by
+// its 4-byte magic and streamed through the chunked decoder, anything else
+// is parsed as the whitespace text format.
+func readAny(r io.Reader) (sfcp.Instance, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	prefix, err := br.Peek(4)
+	if err == nil && sfcp.DetectBinary(prefix) {
+		return sfcp.DecodeBinary(br)
+	}
+	return readInstance(br)
+}
+
 func readInstance(r io.Reader) (sfcp.Instance, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
@@ -109,6 +124,13 @@ func readInstance(r io.Reader) (sfcp.Instance, error) {
 	n, err := next()
 	if err != nil {
 		return sfcp.Instance{}, fmt.Errorf("reading n: %w", err)
+	}
+	// Guard the allocation: a malformed header must error like any other
+	// bad input, not panic makeslice or attempt an absurd allocation.
+	// The bound fits a 32-bit int so the comparison compiles everywhere.
+	const maxN = 1<<31 - 1
+	if n < 0 || n > maxN {
+		return sfcp.Instance{}, fmt.Errorf("n = %d out of range [0, %d]", n, maxN)
 	}
 	ins := sfcp.Instance{F: make([]int, n), B: make([]int, n)}
 	for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -31,16 +32,55 @@ func TestReadInstanceWhitespaceAgnostic(t *testing.T) {
 
 func TestReadInstanceErrors(t *testing.T) {
 	cases := []string{
-		"",            // no n
-		"3\n1 2",      // truncated f
-		"2\n0 1\n0",   // truncated b
-		"x",           // not a number
-		"2\n0 z\n0 0", // bad f value
+		"",                        // no n
+		"3\n1 2",                  // truncated f
+		"2\n0 1\n0",               // truncated b
+		"x",                       // not a number
+		"2\n0 z\n0 0",             // bad f value
+		"-1",                      // negative n must error, not panic makeslice
+		"99999999999999999\n0\n0", // absurd n must error, not try to allocate
 	}
 	for _, in := range cases {
 		if _, err := readInstance(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)
 		}
+	}
+}
+
+func TestReadAnyDetectsFormat(t *testing.T) {
+	ins := sfcp.Instance{F: []int{1, 2, 0}, B: []int{0, 1, 0}}
+	var bin bytes.Buffer
+	if err := ins.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := readAny(&bin)
+	if err != nil {
+		t.Fatalf("binary input: %v", err)
+	}
+	fromText, err := readAny(strings.NewReader("3\n1 2 0\n0 1 0\n"))
+	if err != nil {
+		t.Fatalf("text input: %v", err)
+	}
+	for i := range ins.F {
+		if fromBin.F[i] != ins.F[i] || fromText.F[i] != ins.F[i] ||
+			fromBin.B[i] != ins.B[i] || fromText.B[i] != ins.B[i] {
+			t.Fatalf("format mismatch at %d: bin=%+v text=%+v want=%+v", i, fromBin, fromText, ins)
+		}
+	}
+	// Inputs shorter than the 4-byte magic still parse as text.
+	if _, err := readAny(strings.NewReader("0")); err != nil {
+		t.Errorf("tiny text input: %v", err)
+	}
+	// A corrupt binary stream errors instead of falling back to text.
+	corrupt := bin // already drained; rebuild
+	corrupt.Reset()
+	if err := ins.EncodeBinary(&corrupt); err != nil {
+		t.Fatal(err)
+	}
+	data := corrupt.Bytes()
+	data[len(data)-1] ^= 0xff
+	if _, err := readAny(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt binary input accepted")
 	}
 }
 

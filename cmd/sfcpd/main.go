@@ -1,6 +1,6 @@
 // Command sfcpd serves single function coarsest partition solving over
-// HTTP JSON. Instances are scheduled onto bounded per-algorithm worker
-// pools and results are cached by instance digest.
+// HTTP. Instances are scheduled onto bounded per-algorithm worker pools
+// and results are cached by instance digest.
 //
 // Endpoints:
 //
@@ -8,6 +8,11 @@
 //	POST /solve/batch  {"algorithm":"auto","instances":[{...},...]}
 //	GET  /healthz
 //	GET  /metrics
+//
+// Both POST routes also accept Content-Type: application/x-sfcp bodies in
+// the binary wire format (sfcpgen -format bin emits it), with ?algorithm=
+// and ?seed= query parameters; /solve/batch takes concatenated instances
+// and shards them into batch members as the upload streams.
 //
 // Usage:
 //
@@ -29,19 +34,22 @@ import (
 	"sfcp/internal/server"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	poolWorkers := flag.Int("pool-workers", 2, "solver goroutines per algorithm queue")
-	queue := flag.Int("queue", 0, "pending jobs per algorithm queue (0 = 4x pool-workers)")
-	cacheSize := flag.Int("cache", 1024, "result cache entries (negative disables)")
-	maxN := flag.Int("max-n", 1<<20, "largest accepted instance size")
-	maxBatch := flag.Int("max-batch", 256, "largest accepted batch")
-	workers := flag.Int("workers", 0, "host goroutines per solve (0 = NumCPU)")
-	seed := flag.Uint64("seed", 0, "default simulator seed")
-	maxBody := flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
-	flag.Parse()
-
-	srv := server.New(server.Config{
+// parseFlags binds sfcpd's command line to a listen address and a server
+// configuration.
+func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config, err error) {
+	a := fs.String("addr", ":8080", "listen address")
+	poolWorkers := fs.Int("pool-workers", 2, "solver goroutines per algorithm queue")
+	queue := fs.Int("queue", 0, "pending jobs per algorithm queue (0 = 4x pool-workers)")
+	cacheSize := fs.Int("cache", 1024, "result cache entries (negative disables)")
+	maxN := fs.Int("max-n", 1<<20, "largest accepted instance size")
+	maxBatch := fs.Int("max-batch", 256, "largest accepted batch")
+	workers := fs.Int("workers", 0, "host goroutines per solve (0 = NumCPU)")
+	seed := fs.Uint64("seed", 0, "default simulator seed")
+	maxBody := fs.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+	if err := fs.Parse(args); err != nil {
+		return "", server.Config{}, err
+	}
+	return *a, server.Config{
 		WorkersPerAlgorithm: *poolWorkers,
 		QueueDepth:          *queue,
 		CacheSize:           *cacheSize,
@@ -50,9 +58,17 @@ func main() {
 		Workers:             *workers,
 		Seed:                *seed,
 		MaxBodyBytes:        *maxBody,
-	})
+	}, nil
+}
+
+func main() {
+	addr, cfg, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -61,7 +77,7 @@ func main() {
 	defer stop()
 	errC := make(chan error, 1)
 	go func() { errC <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sfcpd: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "sfcpd: listening on %s\n", addr)
 
 	select {
 	case err := <-errC:

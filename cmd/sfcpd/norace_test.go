@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled downsizes the huge end-to-end instance when the race
+// detector multiplies memory and CPU cost; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled downsizes the huge end-to-end instance: the race detector's
+// memory and CPU multipliers turn a 10^7-element upload from seconds into
+// minutes, and the concurrency coverage is identical at smaller n.
+const raceEnabled = true

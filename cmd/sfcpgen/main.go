@@ -1,9 +1,12 @@
-// Command sfcpgen generates workload instances in the text format consumed
-// by cmd/sfcp.
+// Command sfcpgen generates workload instances in the formats consumed by
+// cmd/sfcp: the whitespace text format (default) or, with -format bin, the
+// streaming binary wire format of internal/codec — the right choice for
+// the 10^7+ element instances the binary codec exists for.
 //
 // Usage:
 //
 //	sfcpgen -kind random -n 65536 -blocks 3 -seed 7 > instance.txt
+//	sfcpgen -kind random -n 10000000 -format bin > instance.sfcp
 //	sfcpgen -kind cycles -k 64 -l 256 -period 8
 //
 // Kinds: random, permutation, cycles (k cycles of length l with equivalent
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"sfcp/internal/codec"
 	"sfcp/internal/workload"
 )
 
@@ -30,7 +34,12 @@ func main() {
 	paths := flag.Int("paths", 4, "number of chains of the broom")
 	accept := flag.Int("accept", 300, "accepting density per mille (dfa)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	format := flag.String("format", "text", "output format: text or bin (binary wire format)")
 	flag.Parse()
+	if *format != "text" && *format != "bin" {
+		fmt.Fprintf(os.Stderr, "sfcpgen: unknown format %q (want text or bin)\n", *format)
+		os.Exit(1)
+	}
 
 	var ins workload.Instance
 	switch *kind {
@@ -55,6 +64,13 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	if *format == "bin" {
+		if err := codec.Encode(w, ins.F, ins.B); err != nil {
+			fmt.Fprintf(os.Stderr, "sfcpgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Fprintln(w, len(ins.F))
 	for i, v := range ins.F {
 		if i > 0 {

@@ -1,0 +1,100 @@
+package sfcp
+
+import (
+	"fmt"
+	"testing"
+
+	"sfcp/internal/workload"
+)
+
+// conformanceFamilies enumerates every internal/workload generator family,
+// sized so the PRAM simulator stays fast while all structural regimes are
+// exercised: random pseudo-forests, pure permutations, equivalent and
+// distinct cycle families, deep brooms, wide stars, and unary DFAs.
+var conformanceFamilies = []struct {
+	name string
+	gen  func(seed int64) workload.Instance
+}{
+	{"random", func(s int64) workload.Instance { return workload.RandomFunction(s, 240, 3) }},
+	{"permutation", func(s int64) workload.Instance { return workload.RandomPermutation(s, 210, 2) }},
+	{"cycles", func(s int64) workload.Instance { return workload.CycleFamily(s, 6, 24, 4) }},
+	{"distinct-cycles", func(s int64) workload.Instance { return workload.DistinctCycles(s, 6, 18, 2) }},
+	{"broom", func(s int64) workload.Instance { return workload.Broom(s, 200, 12, 4) }},
+	{"star", func(s int64) workload.Instance { return workload.Star(s, 150, 3) }},
+	{"dfa", func(s int64) workload.Instance { return workload.UnaryDFA(s, 180, 300) }},
+}
+
+// TestConformanceAllAlgorithms is the differential suite: every Algorithm
+// over every workload family must return labels *identical* to Moore's —
+// not merely the same partition, since all solvers normalize by first
+// occurrence.
+func TestConformanceAllAlgorithms(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, fam := range conformanceFamilies {
+		for _, seed := range seeds {
+			ins := Instance(fam.gen(seed))
+			ref, err := SolveWith(ins, Options{Algorithm: AlgorithmMoore})
+			if err != nil {
+				t.Fatalf("%s/seed%d: moore reference: %v", fam.name, seed, err)
+			}
+			for _, algo := range Algorithms() {
+				t.Run(fmt.Sprintf("%s/seed%d/%s", fam.name, seed, algo), func(t *testing.T) {
+					res, err := SolveWith(ins, Options{Algorithm: algo, Seed: uint64(seed)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.NumClasses != ref.NumClasses {
+						t.Fatalf("%d classes, moore found %d", res.NumClasses, ref.NumClasses)
+					}
+					for i := range res.Labels {
+						if res.Labels[i] != ref.Labels[i] {
+							t.Fatalf("labels[%d] = %d, moore says %d (first divergence)",
+								i, res.Labels[i], ref.Labels[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceSolverBatch drives the same differential check through the
+// reusable Solver's batch path, so the scratch-arena reuse and worker-budget
+// splitting are covered by the conformance suite too.
+func TestConformanceSolverBatch(t *testing.T) {
+	instances := make([]Instance, len(conformanceFamilies))
+	refs := make([]Result, len(conformanceFamilies))
+	for i, fam := range conformanceFamilies {
+		instances[i] = Instance(fam.gen(7))
+		ref, err := SolveWith(instances[i], Options{Algorithm: AlgorithmMoore})
+		if err != nil {
+			t.Fatalf("%s: moore reference: %v", fam.name, err)
+		}
+		refs[i] = ref
+	}
+	for _, algo := range Algorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			s := NewSolver(Options{Algorithm: algo, Parallelism: 3, Seed: 7})
+			results, err := s.SolveBatch(instances)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range results {
+				if !SamePartition(res.Labels, refs[i].Labels) {
+					t.Errorf("%s: partition disagrees with moore", conformanceFamilies[i].name)
+					continue
+				}
+				for j := range res.Labels {
+					if res.Labels[j] != refs[i].Labels[j] {
+						t.Errorf("%s: labels[%d] = %d not normalized like moore's %d",
+							conformanceFamilies[i].name, j, res.Labels[j], refs[i].Labels[j])
+						break
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,10 @@
 package sfcp
 
 import (
+	"bytes"
 	"testing"
+
+	"sfcp/internal/codec"
 )
 
 // FuzzSolve cross-checks the paper's parallel algorithm against naive
@@ -37,6 +40,99 @@ func FuzzSolve(f *testing.F) {
 			if !SamePartition(res.Labels, ref.Labels) {
 				t.Fatalf("%v disagrees with moore on F=%v B=%v", alg, ins.F, ins.B)
 			}
+		}
+	})
+}
+
+// FuzzCodecRoundTrip checks the binary wire format is lossless and
+// canonical: every instance decodes back identical and re-encodes to the
+// exact same bytes, with a stable digest. Run longer with:
+//
+//	go test -fuzz=FuzzCodecRoundTrip -fuzztime 30s
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{0, 1, 0, 1})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0}, []byte{255})
+	f.Add([]byte{200, 100, 0, 50}, []byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, rawF, rawB []byte) {
+		if len(rawF) > 1000 {
+			return
+		}
+		ins := Instance{F: make([]int, len(rawF)), B: make([]int, len(rawF))}
+		for i, v := range rawF {
+			// Arbitrary non-negative values: the codec is agnostic to the
+			// F-range invariant the solvers demand.
+			ins.F[i] = int((uint64(v) << (uint(i) % 40)) & (uint64(^uint(0)) >> 1))
+			if i < len(rawB) {
+				ins.B[i] = int(rawB[i])
+			}
+		}
+		var buf bytes.Buffer
+		if err := ins.EncodeBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		encoded := buf.Bytes()
+		if got, want := len(encoded), codec.EncodedSize(ins.F, ins.B); got != want {
+			t.Fatalf("emitted %d bytes, EncodedSize says %d", got, want)
+		}
+		dec := codec.NewReader(bytes.NewReader(encoded))
+		df, db, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		digest := dec.Digest()
+		back := Instance{F: df, B: db}
+		for i := range ins.F {
+			if df[i] != ins.F[i] || db[i] != ins.B[i] {
+				t.Fatalf("element %d: decoded (%d,%d), want (%d,%d)",
+					i, df[i], db[i], ins.F[i], ins.B[i])
+			}
+		}
+		var again bytes.Buffer
+		if err := back.EncodeBinary(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Bytes(), encoded) {
+			t.Fatal("decoded-then-encoded bytes differ from the original encoding")
+		}
+		dec2 := codec.NewReader(bytes.NewReader(again.Bytes()))
+		if _, _, err := dec2.Decode(); err != nil {
+			t.Fatal(err)
+		}
+		if dec2.Digest() != digest {
+			t.Fatalf("digest not stable: %s vs %s", dec2.Digest(), digest)
+		}
+	})
+}
+
+// FuzzCodecDecode feeds arbitrary bytes to the streaming decoder: malformed
+// headers, truncated bodies and corrupt trailers must come back as errors,
+// never panics or misdecodes — and anything that does decode must re-encode
+// to exactly the bytes consumed.
+func FuzzCodecDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := (Instance{F: []int{1, 2, 0}, B: []int{0, 1, 0}}).EncodeBinary(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:5])
+	f.Add([]byte("SFCP"))
+	f.Add([]byte("SFCP\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x02"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dec := codec.NewReaderSize(bytes.NewReader(raw), 128)
+		dec.MaxN = 1 << 16 // keep hostile element counts cheap to reject
+		df, db, err := dec.Decode()
+		if err != nil {
+			return
+		}
+		var again bytes.Buffer
+		if err := (Instance{F: df, B: db}).EncodeBinary(&again); err != nil {
+			t.Fatalf("re-encoding a decoded instance: %v", err)
+		}
+		size := codec.EncodedSize(df, db)
+		if size > len(raw) || !bytes.Equal(again.Bytes(), raw[:size]) {
+			t.Fatalf("accepted %d bytes that do not round-trip", size)
 		}
 	})
 }

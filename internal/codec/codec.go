@@ -1,0 +1,393 @@
+// Package codec implements the sfcp binary wire format: a compact,
+// versioned, little-endian encoding of coarsest-partition instances built
+// for streaming huge inputs (10^7–10^8 elements) through fixed-size
+// chunks, so the decoder's extra memory is O(chunk) — never a second copy
+// of the payload.
+//
+// Wire layout of one instance (all multi-byte integers little-endian,
+// varints are unsigned LEB128 as in encoding/binary):
+//
+//	offset  size  field
+//	0       4     magic "SFCP"
+//	4       1     format version (currently 1)
+//	5       1     flags (must be 0)
+//	6       var   n, uvarint
+//	…       var   F[0], …, F[n-1], one uvarint each
+//	…       var   B[0], …, B[n-1], one uvarint each
+//	…       8     XXH64 of every preceding byte of this instance
+//
+// The digest trailer covers the header and payload, so truncation and
+// corruption are detected, and it doubles as a content address: because
+// uvarint encoding is canonical, two encodings of the same instance are
+// byte-identical and share a digest. Instances may be concatenated
+// back-to-back in one stream; Reader.Decode returns io.EOF at a clean
+// stream end.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// Version is the wire-format version this package reads and writes.
+	Version = 1
+	// DefaultChunkSize is the Reader/Writer buffer size: the peak extra
+	// memory either side holds beyond the instance arrays themselves.
+	DefaultChunkSize = 64 << 10
+	// DefaultMaxN bounds the element count a Reader accepts before it
+	// allocates output arrays, so a corrupt or hostile header cannot
+	// demand an absurd allocation.
+	DefaultMaxN = 1 << 27
+	// TrailerSize is the byte length of the XXH64 digest trailer.
+	TrailerSize = 8
+
+	headerSize    = 6  // magic + version + flags
+	minChunk      = 64 // room for a header and a worst-case varint per refill
+	maxEmptyReads = 100
+	maxInt        = int(^uint(0) >> 1)
+)
+
+var magic = [4]byte{'S', 'F', 'C', 'P'}
+
+// ErrBadMagic reports that a stream does not start with the "SFCP" magic —
+// the signal format sniffers use to fall back to the text format.
+var ErrBadMagic = errors.New("codec: bad magic (not an sfcp binary stream)")
+
+// Detect reports whether prefix begins with the binary-format magic.
+// Four bytes of lookahead are enough.
+func Detect(prefix []byte) bool {
+	return len(prefix) >= len(magic) && string(prefix[:len(magic)]) == string(magic[:])
+}
+
+// EncodedSize returns the exact number of bytes Encode will emit for (f, b).
+func EncodedSize(f, b []int) int {
+	size := headerSize + uvarintLen(uint64(len(f))) + TrailerSize
+	for _, v := range f {
+		size += uvarintLen(uint64(v))
+	}
+	for _, v := range b {
+		size += uvarintLen(uint64(v))
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Encode writes one instance to w in the binary wire format.
+func Encode(w io.Writer, f, b []int) error {
+	return NewWriter(w).Encode(f, b)
+}
+
+// Decode reads one instance from r.
+func Decode(r io.Reader) (f, b []int, err error) {
+	return NewReader(r).Decode()
+}
+
+// Writer streams instances to an io.Writer through a fixed-size chunk
+// buffer. Encode may be called repeatedly to concatenate instances.
+type Writer struct {
+	dst  io.Writer
+	buf  []byte
+	n    int
+	hash xxh64
+}
+
+// NewWriter returns a Writer with the default chunk size.
+func NewWriter(w io.Writer) *Writer { return NewWriterSize(w, DefaultChunkSize) }
+
+// NewWriterSize returns a Writer buffering up to chunk bytes (values below
+// the minimum are raised to it).
+func NewWriterSize(w io.Writer, chunk int) *Writer {
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	return &Writer{dst: w, buf: make([]byte, chunk)}
+}
+
+// Encode writes one complete instance — header, varint-packed F and B,
+// digest trailer — flushing chunk by chunk. Negative values are rejected:
+// the format carries unsigned varints only. Validation happens up front,
+// so a rejected instance emits no bytes (a mid-stream error would leave
+// the destination holding a truncated instance).
+func (w *Writer) Encode(f, b []int) error {
+	if len(f) != len(b) {
+		return fmt.Errorf("codec: |F| = %d but |B| = %d", len(f), len(b))
+	}
+	for i, v := range f {
+		if v < 0 {
+			return fmt.Errorf("codec: F[%d] = %d negative", i, v)
+		}
+	}
+	for i, v := range b {
+		if v < 0 {
+			return fmt.Errorf("codec: B[%d] = %d negative", i, v)
+		}
+	}
+	w.hash.reset()
+	w.n = 0
+	copy(w.buf, magic[:])
+	w.buf[4] = Version
+	w.buf[5] = 0 // flags
+	w.n = headerSize
+	if err := w.putUvarint(uint64(len(f))); err != nil {
+		return err
+	}
+	for _, v := range f {
+		if err := w.putUvarint(uint64(v)); err != nil {
+			return err
+		}
+	}
+	for _, v := range b {
+		if err := w.putUvarint(uint64(v)); err != nil {
+			return err
+		}
+	}
+	if err := w.flushHashed(); err != nil {
+		return err
+	}
+	var trailer [TrailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:], w.hash.sum())
+	_, err := w.dst.Write(trailer[:])
+	return err
+}
+
+func (w *Writer) putUvarint(v uint64) error {
+	if len(w.buf)-w.n < binary.MaxVarintLen64 {
+		if err := w.flushHashed(); err != nil {
+			return err
+		}
+	}
+	w.n += binary.PutUvarint(w.buf[w.n:], v)
+	return nil
+}
+
+// flushHashed folds the buffered bytes into the digest and writes them out.
+func (w *Writer) flushHashed() error {
+	if w.n == 0 {
+		return nil
+	}
+	w.hash.write(w.buf[:w.n])
+	_, err := w.dst.Write(w.buf[:w.n])
+	w.n = 0
+	return err
+}
+
+// Reader streams instances from an io.Reader through a fixed-size chunk
+// buffer: peak extra memory is O(chunk) regardless of instance size.
+// Decode may be called repeatedly on a stream of concatenated instances;
+// a clean end of stream returns io.EOF, truncation mid-instance returns an
+// error wrapping io.ErrUnexpectedEOF.
+type Reader struct {
+	src io.Reader
+	buf []byte
+	// The window buf[pos:end] is unread; buf[hpos:pos] is consumed but not
+	// yet folded into the running digest (hashing is deferred to refill and
+	// trailer boundaries so it runs over whole chunks).
+	pos, end, hpos int
+	hash           xxh64
+	digest         uint64
+
+	// MaxN bounds the per-instance element count accepted before output
+	// arrays are allocated (default DefaultMaxN).
+	MaxN int
+}
+
+// NewReader returns a Reader with the default chunk size.
+func NewReader(r io.Reader) *Reader { return NewReaderSize(r, DefaultChunkSize) }
+
+// NewReaderSize returns a Reader with a chunk-byte buffer (values below
+// the minimum are raised to it).
+func NewReaderSize(r io.Reader, chunk int) *Reader {
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	return &Reader{src: r, buf: make([]byte, chunk), MaxN: DefaultMaxN}
+}
+
+// Reset discards buffered state and switches the Reader to read from src,
+// keeping the allocated chunk buffer.
+func (r *Reader) Reset(src io.Reader) {
+	r.src = src
+	r.pos, r.end, r.hpos = 0, 0, 0
+	r.digest = 0 // Digest() must not report the previous stream's address
+}
+
+// Decode reads one instance, allocating fresh output slices.
+func (r *Reader) Decode() (f, b []int, err error) { return r.DecodeInto(nil, nil) }
+
+// DecodeInto reads one instance into f and b, reusing their capacity when
+// it suffices and reallocating otherwise; it returns the slices actually
+// filled. On error the contents of f and b are unspecified.
+func (r *Reader) DecodeInto(f, b []int) ([]int, []int, error) {
+	r.hash.reset()
+	r.hpos = r.pos // discard consumed-but-unhashed bytes from a previous decode
+	if err := r.need(headerSize); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) && r.end == r.pos {
+			return nil, nil, io.EOF // clean end of stream
+		}
+		return nil, nil, err
+	}
+	hdr := r.buf[r.pos : r.pos+headerSize]
+	if !Detect(hdr) {
+		return nil, nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return nil, nil, fmt.Errorf("codec: unsupported version %d (want %d)", hdr[4], Version)
+	}
+	if hdr[5] != 0 {
+		return nil, nil, fmt.Errorf("codec: unsupported flags %#x", hdr[5])
+	}
+	r.pos += headerSize
+	un, err := r.readUvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if un > uint64(r.MaxN) || un > uint64(maxInt) {
+		return nil, nil, fmt.Errorf("codec: instance of %d elements exceeds limit %d", un, r.MaxN)
+	}
+	n := int(un)
+	f = grow(f, n)
+	b = grow(b, n)
+	for _, dst := range [2][]int{f, b} {
+		for i := range dst {
+			v, err := r.readUvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			if v > uint64(maxInt) {
+				return nil, nil, fmt.Errorf("codec: value %d overflows int", v)
+			}
+			dst[i] = int(v)
+		}
+	}
+	// Everything consumed so far is covered by the digest; the trailer is not.
+	r.flushHash()
+	sum := r.hash.sum()
+	if err := r.need(TrailerSize); err != nil {
+		return nil, nil, err
+	}
+	want := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += TrailerSize
+	r.hpos = r.pos // trailer bytes are consumed but never hashed
+	if sum != want {
+		return nil, nil, fmt.Errorf("codec: digest mismatch: body hashes to %016x, trailer says %016x", sum, want)
+	}
+	r.digest = sum
+	return f, b, nil
+}
+
+// Digest returns the hex wire digest of the most recently decoded
+// instance — the content address binary ingest paths key their caches on.
+func (r *Reader) Digest() string { return fmt.Sprintf("%016x", r.digest) }
+
+// More reports whether the stream holds at least one byte beyond what has
+// been decoded — a one-read probe for trailing data that, unlike another
+// Decode, costs no allocation. The error is the source's (never io.EOF).
+func (r *Reader) More() (bool, error) {
+	if r.end > r.pos {
+		return true, nil
+	}
+	switch err := r.fill(); err {
+	case nil:
+		return true, nil
+	case io.EOF:
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+func grow(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// flushHash folds consumed-but-unhashed bytes into the running digest.
+func (r *Reader) flushHash() {
+	if r.hpos < r.pos {
+		r.hash.write(r.buf[r.hpos:r.pos])
+	}
+	r.hpos = r.pos
+}
+
+// need ensures at least k unread bytes are windowed (k ≤ chunk size).
+// A stream ending before k bytes arrive yields io.ErrUnexpectedEOF.
+func (r *Reader) need(k int) error {
+	for r.end-r.pos < k {
+		if err := r.fill(); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("codec: truncated instance: %w", err)
+		}
+	}
+	return nil
+}
+
+func (r *Reader) readUvarint() (uint64, error) {
+	for {
+		v, size := binary.Uvarint(r.buf[r.pos:r.end])
+		if size > 0 {
+			// Padded encodings (trailing 0x00 continuation) are rejected so
+			// the format stays canonical: equal instances must be
+			// byte-identical for the digest to be a content address.
+			if size > 1 && r.buf[r.pos+size-1] == 0 {
+				return 0, errors.New("codec: non-minimal varint encoding")
+			}
+			r.pos += size
+			return v, nil
+		}
+		if size < 0 {
+			return 0, errors.New("codec: varint overflows 64 bits")
+		}
+		// size == 0: the window holds only a varint prefix — refill.
+		if err := r.fill(); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("codec: truncated instance: %w", err)
+		}
+	}
+}
+
+// fill hashes and evicts the consumed prefix, then reads at least one more
+// byte from the source into the freed space.
+func (r *Reader) fill() error {
+	r.flushHash()
+	if r.pos > 0 {
+		copy(r.buf, r.buf[r.pos:r.end])
+		r.end -= r.pos
+		r.pos, r.hpos = 0, 0
+	}
+	if r.end == len(r.buf) {
+		// Cannot happen: every read loop consumes before refilling and no
+		// field needs more than minChunk buffered bytes.
+		return errors.New("codec: chunk buffer full")
+	}
+	// Tolerate a bounded number of (0, nil) returns — legal under the
+	// io.Reader contract — instead of spinning forever on a source that
+	// never progresses (bufio's maxConsecutiveEmptyReads defense).
+	for i := 0; i < maxEmptyReads; i++ {
+		n, err := r.src.Read(r.buf[r.end:])
+		if n > 0 {
+			r.end += n
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return io.ErrNoProgress
+}

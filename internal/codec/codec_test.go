@@ -1,0 +1,372 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"sfcp/internal/workload"
+)
+
+// TestXXH64Vectors pins the digest implementation to the reference XXH64
+// algorithm with known-answer vectors (including a 63-byte input that
+// exercises the 32-byte block path and every tail branch).
+func TestXXH64Vectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"as", 0x1c330fb2d66be179},
+		{"asd", 0x631c37ce72a97393},
+		{"asdf", 0x415872f599cea71e},
+		{"Call me Ishmael. Some years ago--never mind how long precisely-",
+			0x02a2e85470d6fd96},
+	}
+	for _, v := range vectors {
+		var x xxh64
+		x.reset()
+		x.write([]byte(v.in))
+		if got := x.sum(); got != v.want {
+			t.Errorf("xxh64(%q) = %016x, want %016x", v.in, got, v.want)
+		}
+		// Streaming in odd-sized pieces must agree with one-shot hashing.
+		x.reset()
+		for i := 0; i < len(v.in); i += 3 {
+			end := i + 3
+			if end > len(v.in) {
+				end = len(v.in)
+			}
+			x.write([]byte(v.in[i:end]))
+		}
+		if got := x.sum(); got != v.want {
+			t.Errorf("streamed xxh64(%q) = %016x, want %016x", v.in, got, v.want)
+		}
+	}
+}
+
+func encodeOrDie(t *testing.T, f, b []int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, f, b); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		f, b []int
+	}{
+		{"empty", []int{}, []int{}},
+		{"single", []int{0}, []int{7}},
+		{"small", []int{1, 2, 0, 0}, []int{0, 0, 1, 0}},
+		{"wide values", []int{0, 1}, []int{maxInt, 1 << 40}},
+		{"random", workload.RandomFunction(3, 1000, 5).F, workload.RandomFunction(3, 1000, 5).B},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := encodeOrDie(t, tc.f, tc.b)
+			if got, want := len(data), EncodedSize(tc.f, tc.b); got != want {
+				t.Errorf("EncodedSize = %d, emitted %d bytes", want, got)
+			}
+			f, b, err := Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(f, tc.f) || !equalInts(b, tc.b) {
+				t.Fatalf("round trip: got F=%v B=%v, want F=%v B=%v", f, b, tc.f, tc.b)
+			}
+			// Canonical: re-encoding the decoded instance is byte-identical.
+			if again := encodeOrDie(t, f, b); !bytes.Equal(again, data) {
+				t.Error("re-encoded bytes differ from the original encoding")
+			}
+		})
+	}
+}
+
+func TestSmallChunkSizes(t *testing.T) {
+	// Chunk boundaries must be invisible: tiny buffers on both sides force
+	// varints to straddle every refill.
+	ins := workload.RandomFunction(9, 4096, 4)
+	var buf bytes.Buffer
+	if err := NewWriterSize(&buf, 1).Encode(ins.F, ins.B); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), encodeOrDie(t, ins.F, ins.B)) {
+		t.Fatal("chunked writer emitted different bytes")
+	}
+	r := NewReaderSize(iotest{bytes.NewReader(buf.Bytes())}, 1)
+	f, b, err := r.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(f, ins.F) || !equalInts(b, ins.B) {
+		t.Fatal("round trip through minimum-size chunks failed")
+	}
+}
+
+// noProgressReader always returns (0, nil), which io.Reader permits.
+type noProgressReader struct{}
+
+func (noProgressReader) Read([]byte) (int, error) { return 0, nil }
+
+// iotest dribbles one byte per Read to exercise partial fills.
+type iotest struct{ r io.Reader }
+
+func (d iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return d.r.Read(p)
+}
+
+func TestConcatenatedInstances(t *testing.T) {
+	instances := [][2][]int{
+		{[]int{1, 0}, []int{0, 1}},
+		{[]int{0}, []int{3}},
+		{[]int{2, 0, 1}, []int{1, 1, 0}},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var digests []string
+	for _, ins := range instances {
+		if err := w.Encode(ins[0], ins[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i, ins := range instances {
+		f, b, err := r.Decode()
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if !equalInts(f, ins[0]) || !equalInts(b, ins[1]) {
+			t.Fatalf("instance %d: got F=%v B=%v", i, f, b)
+		}
+		digests = append(digests, r.Digest())
+		more, err := r.More()
+		if err != nil {
+			t.Fatalf("instance %d: More: %v", i, err)
+		}
+		if want := i < len(instances)-1; more != want {
+			t.Fatalf("instance %d: More = %v, want %v", i, more, want)
+		}
+	}
+	if _, _, err := r.Decode(); err != io.EOF {
+		t.Fatalf("after last instance: err = %v, want io.EOF", err)
+	}
+	if digests[0] == digests[1] || len(digests[0]) != 16 {
+		t.Errorf("per-instance digests not distinct 16-hex strings: %v", digests)
+	}
+	// Digests are content addresses: re-encoding instance 1 alone gives the
+	// same digest it had inside the concatenated stream.
+	r2 := NewReader(bytes.NewReader(encodeOrDie(t, instances[1][0], instances[1][1])))
+	if _, _, err := r2.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Digest() != digests[1] {
+		t.Errorf("digest not stable across streams: %s vs %s", r2.Digest(), digests[1])
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, []int{0, 1}, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Encode(&buf, []int{-1}, []int{0}); err == nil {
+		t.Error("negative F accepted")
+	}
+	if err := Encode(&buf, []int{0}, []int{-5}); err == nil {
+		t.Error("negative B accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("rejected instances emitted %d bytes, want 0", buf.Len())
+	}
+	// Validation is up front: a bad value far past the chunk size must not
+	// leave a truncated partial stream behind.
+	ins := workload.RandomFunction(6, 100_000, 3)
+	ins.F[len(ins.F)-1] = -1
+	if err := NewWriterSize(&buf, minChunk).Encode(ins.F, ins.B); err == nil {
+		t.Error("late negative value accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("late-rejected instance emitted %d bytes, want 0", buf.Len())
+	}
+}
+
+func TestResetClearsDigest(t *testing.T) {
+	data := encodeOrDie(t, []int{1, 0}, []int{0, 1})
+	r := NewReader(bytes.NewReader(data))
+	if _, _, err := r.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Digest() == "0000000000000000" {
+		t.Fatal("decode left digest zero")
+	}
+	r.Reset(bytes.NewReader([]byte("garbage")))
+	if got := r.Digest(); got != "0000000000000000" {
+		t.Errorf("Digest after Reset = %s, want zero", got)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	valid := encodeOrDie(t, []int{1, 2, 0}, []int{0, 1, 0})
+	flipPayload := bytes.Clone(valid)
+	flipPayload[headerSize+1] ^= 0x01
+	flipTrailer := bytes.Clone(valid)
+	flipTrailer[len(flipTrailer)-1] ^= 0xff
+	overflowVarint := append([]byte("SFCP\x01\x00"),
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02)
+	hugeValue := append([]byte("SFCP\x01\x00"), 0x01, // n = 1
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // F[0] = 1<<63
+	paddedVarint := append([]byte("SFCP\x01\x00"), 0x81, 0x00) // n = 1, non-minimal
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"bad magic", []byte("NOPE\x01\x00\x00"), "bad magic"},
+		{"bad version", []byte("SFCP\x09\x00\x00"), "unsupported version"},
+		{"bad flags", []byte("SFCP\x01\x07\x00"), "unsupported flags"},
+		{"truncated header", valid[:3], "truncated"},
+		{"truncated count", valid[:headerSize], "truncated"},
+		{"truncated payload", valid[:headerSize+2], "truncated"},
+		{"truncated trailer", valid[:len(valid)-3], "truncated"},
+		{"payload corruption", flipPayload, "digest mismatch"},
+		{"trailer corruption", flipTrailer, "digest mismatch"},
+		{"varint overflow", overflowVarint, "overflows 64 bits"},
+		{"value overflows int", hugeValue, "overflows int"},
+		{"non-minimal varint", paddedVarint, "non-minimal varint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !bytes.Contains([]byte(err.Error()), []byte(tc.want)) {
+				t.Errorf("err %q missing %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("empty stream", func(t *testing.T) {
+		if _, _, err := Decode(bytes.NewReader(nil)); err != io.EOF {
+			t.Errorf("err = %v, want io.EOF", err)
+		}
+	})
+	t.Run("n exceeds MaxN", func(t *testing.T) {
+		r := NewReader(bytes.NewReader(valid))
+		r.MaxN = 2
+		_, _, err := r.Decode()
+		if err == nil || !bytes.Contains([]byte(err.Error()), []byte("exceeds limit 2")) {
+			t.Errorf("err = %v, want size-limit error", err)
+		}
+	})
+	t.Run("no-progress source", func(t *testing.T) {
+		// (0, nil) forever is legal under io.Reader; the decoder must give
+		// up rather than spin.
+		_, _, err := NewReader(noProgressReader{}).Decode()
+		if !errors.Is(err, io.ErrNoProgress) {
+			t.Errorf("err = %v, want wrapped io.ErrNoProgress", err)
+		}
+	})
+	t.Run("truncated mid-stream is not EOF", func(t *testing.T) {
+		_, _, err := Decode(bytes.NewReader(valid[:headerSize+2]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("err = %v, want wrapped io.ErrUnexpectedEOF", err)
+		}
+	})
+}
+
+// TestHugeRoundTripAllocs is the scale acceptance check: a 10^7-element
+// instance round-trips through the codec and the decoder performs O(1)
+// allocations per instance (its extra memory is the fixed chunk buffer),
+// measured with testing.AllocsPerRun over a reused Reader and outputs.
+func TestHugeRoundTripAllocs(t *testing.T) {
+	n := 10_000_000
+	if testing.Short() {
+		n = 100_000
+	}
+	ins := workload.RandomFunction(42, n, 8)
+	var buf bytes.Buffer
+	buf.Grow(EncodedSize(ins.F, ins.B))
+	if err := Encode(&buf, ins.F, ins.B); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	br := bytes.NewReader(data)
+	r := NewReader(br)
+	f := make([]int, 0, n)
+	b := make([]int, 0, n)
+	var decodeErr error
+	allocs := testing.AllocsPerRun(2, func() {
+		br.Reset(data)
+		r.Reset(br)
+		f, b, decodeErr = r.DecodeInto(f, b)
+	})
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	if allocs > 4 {
+		t.Errorf("decoder performed %v allocations per %d-element instance, want O(1)", allocs, n)
+	}
+	if !equalInts(f, ins.F) || !equalInts(b, ins.B) {
+		t.Fatal("huge instance did not round-trip")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	ins := workload.RandomFunction(7, 1<<20, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, ins.F, ins.B); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	br := bytes.NewReader(data)
+	r := NewReader(br)
+	var f, bb []int
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(data)
+		r.Reset(br)
+		var err error
+		f, bb, err = r.DecodeInto(f, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	ins := workload.RandomFunction(7, 1<<20, 4)
+	b.SetBytes(int64(EncodedSize(ins.F, ins.B)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Encode(io.Discard, ins.F, ins.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxh64 is a streaming implementation of the XXH64 hash (Yann Collet's
+// xxHash, 64-bit variant) used for the wire-format digest trailer. It is
+// self-contained so the codec stays dependency-free; the known-answer
+// vectors in codec_test.go pin it to the reference algorithm.
+type xxh64 struct {
+	v1, v2, v3, v4 uint64
+	total          uint64
+	mem            [32]byte
+	n              int // bytes buffered in mem
+}
+
+const (
+	prime64x1 uint64 = 11400714785074694791
+	prime64x2 uint64 = 14029467366897019727
+	prime64x3 uint64 = 1609587929392839161
+	prime64x4 uint64 = 9650029242287828579
+	prime64x5 uint64 = 2870177450012600261
+)
+
+func (x *xxh64) reset() {
+	// Accumulator seeds per the XXH64 spec with seed 0; the v1 and v4
+	// expressions wrap, so compute them in the variables.
+	x.v1 = prime64x1
+	x.v1 += prime64x2
+	x.v2 = prime64x2
+	x.v3 = 0
+	x.v4 = 0
+	x.v4 -= prime64x1
+	x.total = 0
+	x.n = 0
+}
+
+func xxhRound(acc, input uint64) uint64 {
+	acc += input * prime64x2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime64x1
+}
+
+func xxhMerge(acc, val uint64) uint64 {
+	acc ^= xxhRound(0, val)
+	return acc*prime64x1 + prime64x4
+}
+
+func (x *xxh64) write(p []byte) {
+	x.total += uint64(len(p))
+	if x.n > 0 {
+		c := copy(x.mem[x.n:], p)
+		x.n += c
+		p = p[c:]
+		if x.n < 32 {
+			return
+		}
+		x.consume(x.mem[:])
+		x.n = 0
+	}
+	for len(p) >= 32 {
+		x.consume(p[:32])
+		p = p[32:]
+	}
+	x.n = copy(x.mem[:], p)
+}
+
+func (x *xxh64) consume(block []byte) {
+	x.v1 = xxhRound(x.v1, binary.LittleEndian.Uint64(block[0:]))
+	x.v2 = xxhRound(x.v2, binary.LittleEndian.Uint64(block[8:]))
+	x.v3 = xxhRound(x.v3, binary.LittleEndian.Uint64(block[16:]))
+	x.v4 = xxhRound(x.v4, binary.LittleEndian.Uint64(block[24:]))
+}
+
+func (x *xxh64) sum() uint64 {
+	var h uint64
+	if x.total >= 32 {
+		h = bits.RotateLeft64(x.v1, 1) + bits.RotateLeft64(x.v2, 7) +
+			bits.RotateLeft64(x.v3, 12) + bits.RotateLeft64(x.v4, 18)
+		h = xxhMerge(h, x.v1)
+		h = xxhMerge(h, x.v2)
+		h = xxhMerge(h, x.v3)
+		h = xxhMerge(h, x.v4)
+	} else {
+		h = prime64x5 // seed 0
+	}
+	h += x.total
+	tail := x.mem[:x.n]
+	for ; len(tail) >= 8; tail = tail[8:] {
+		h ^= xxhRound(0, binary.LittleEndian.Uint64(tail))
+		h = bits.RotateLeft64(h, 27)*prime64x1 + prime64x4
+	}
+	if len(tail) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(tail)) * prime64x1
+		h = bits.RotateLeft64(h, 23)*prime64x2 + prime64x3
+		tail = tail[4:]
+	}
+	for _, b := range tail {
+		h ^= uint64(b) * prime64x5
+		h = bits.RotateLeft64(h, 11) * prime64x1
+	}
+	h ^= h >> 33
+	h *= prime64x2
+	h ^= h >> 29
+	h *= prime64x3
+	h ^= h >> 32
+	return h
+}

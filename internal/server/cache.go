@@ -32,6 +32,10 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
+// enabled reports whether results are being stored at all — callers use
+// it to skip digest and key construction when caching is off.
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
 func (c *resultCache) Get(key string) (sfcp.Result, bool) {
 	if c.cap <= 0 {
 		return sfcp.Result{}, false

@@ -18,6 +18,7 @@ type metrics struct {
 	errors    map[string]int64 // by route
 	cacheHits int64
 	cacheMiss int64
+	ingested  map[string]int64       // body bytes by format ("json", "binary")
 	solves    map[string]*solveStats // by algorithm name
 }
 
@@ -33,8 +34,15 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: map[string]int64{},
 		errors:   map[string]int64{},
+		ingested: map[string]int64{},
 		solves:   map[string]*solveStats{},
 	}
+}
+
+func (m *metrics) ingest(format string, bytes int64) {
+	m.mu.Lock()
+	m.ingested[format] += bytes
+	m.mu.Unlock()
 }
 
 func (m *metrics) request(route string) {
@@ -97,6 +105,10 @@ func (m *metrics) render() string {
 	}
 	emit("# TYPE sfcpd_cache_hits_total counter\nsfcpd_cache_hits_total %d\n", m.cacheHits)
 	emit("# TYPE sfcpd_cache_misses_total counter\nsfcpd_cache_misses_total %d\n", m.cacheMiss)
+	emit("# TYPE sfcpd_ingest_bytes_total counter\n")
+	for _, format := range sortedKeys(m.ingested) {
+		emit("sfcpd_ingest_bytes_total{format=%q} %d\n", format, m.ingested[format])
+	}
 	emit("# TYPE sfcpd_solves_total counter\n")
 	for _, algo := range sortedKeys(m.solves) {
 		s := m.solves[algo]

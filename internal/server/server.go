@@ -1,10 +1,20 @@
-// Package server implements sfcpd's HTTP JSON API: a batching
+// Package server implements sfcpd's HTTP API: a batching
 // partition-solving service over the sfcp library. Endpoints:
 //
 //	POST /solve        one instance
 //	POST /solve/batch  many instances, solved concurrently
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus-style counters
+//
+// Bodies are JSON by default; POST routes also accept
+// Content-Type: application/x-sfcp — the binary wire format of
+// internal/codec — with ?algorithm= and ?seed= query parameters. Binary
+// uploads are decoded in fixed-size chunks with their XXH64 integrity
+// trailers verified as the bytes stream (never a buffered body copy), and
+// /solve/batch shards a stream of concatenated instances into batch
+// members as they arrive. Cache keys use the SHA-256 content address for
+// both formats, so a collision-crafted wire digest cannot poison the
+// cache and either format hits entries the other populated.
 //
 // Requests are scheduled onto bounded per-algorithm worker pools and
 // results are memoized in an LRU keyed by (algorithm, seed, instance
@@ -17,11 +27,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"sfcp"
+	"sfcp/internal/codec"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -170,27 +184,205 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "solve", http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if isBinary(r) {
+		s.handleSolveBinary(w, r)
+		return
+	}
 	var req SolveRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, "solve", decodeStatus(err), err.Error())
 		return
 	}
-	resp := s.solveOne(r.Context(), req, "")
+	s.writeSolveResult(w, "solve", s.solveOne(r.Context(), req, ""))
+}
+
+// writeSolveResult maps a single-solve outcome onto HTTP: client mistakes
+// become 400, transient server-side failures 503, successes 200.
+func (s *Server) writeSolveResult(w http.ResponseWriter, route string, resp SolveResponse) {
 	if resp.Error != "" {
 		code := http.StatusBadRequest
 		if resp.transient {
 			code = http.StatusServiceUnavailable
 		}
-		s.fail(w, "solve", code, resp.Error)
+		s.fail(w, route, code, resp.Error)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatch solves n members concurrently and writes the positional
+// BatchResponse; failed members carry Error without failing siblings.
+func (s *Server) runBatch(w http.ResponseWriter, n int, solve func(i int) SolveResponse) {
+	resp := BatchResponse{Results: make([]SolveResponse, n)}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Results[i] = solve(i)
+		}(i)
+	}
+	wg.Wait()
+	for i := range resp.Results {
+		if resp.Results[i].Error != "" {
+			resp.Errors++
+		}
+	}
+	if resp.Errors > 0 {
+		s.metrics.error("batch")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSolveBinary serves POST /solve with a Content-Type:
+// application/x-sfcp body holding exactly one wire-format instance.
+// Algorithm and seed travel as query parameters.
+func (s *Server) handleSolveBinary(w http.ResponseWriter, r *http.Request) {
+	algo, seed, err := binaryParams(r)
+	if err != nil {
+		s.fail(w, "solve", http.StatusBadRequest, err.Error())
+		return
+	}
+	dec, body := s.binaryDecoder(w, r)
+	defer func() { s.metrics.ingest("binary", body.n) }()
+	ins, err := decodeBinaryInstance(dec)
+	if err == nil {
+		// A single-instance route must consume the whole body, mirroring
+		// the JSON path's trailing-data rejection. More is a one-byte
+		// probe: no second instance gets decoded just to be thrown away.
+		switch more, probeErr := dec.More(); {
+		case probeErr != nil:
+			err = probeErr
+		case more:
+			err = errors.New("invalid binary body: trailing data after instance")
+		}
+	}
+	if err != nil {
+		s.fail(w, "solve", decodeStatus(err), err.Error())
+		return
+	}
+	s.writeSolveResult(w, "solve", s.solveInstance(r.Context(), algo, seed, ins))
+}
+
+// handleBatchBinary serves POST /solve/batch with a binary body of
+// concatenated wire-format instances: the upload is sharded into members
+// as it streams, each with its own trailer digest for cache keying, and
+// the members are then solved concurrently like a JSON batch.
+func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
+	algo, seed, err := binaryParams(r)
+	if err != nil {
+		s.fail(w, "batch", http.StatusBadRequest, err.Error())
+		return
+	}
+	dec, body := s.binaryDecoder(w, r)
+	defer func() { s.metrics.ingest("binary", body.n) }()
+	var instances []sfcp.Instance
+	for {
+		if len(instances) == s.cfg.MaxBatch {
+			// A one-byte probe rejects an over-limit upload before the
+			// excess member's arrays get decoded and allocated.
+			more, err := dec.More()
+			if err != nil {
+				s.fail(w, "batch", decodeStatus(err), err.Error())
+				return
+			}
+			if more {
+				s.fail(w, "batch", http.StatusBadRequest,
+					fmt.Sprintf("batch exceeds limit %d", s.cfg.MaxBatch))
+				return
+			}
+			break
+		}
+		ins, err := decodeBinaryInstance(dec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.fail(w, "batch", decodeStatus(err),
+				fmt.Sprintf("instance %d: %s", len(instances), err))
+			return
+		}
+		instances = append(instances, ins)
+	}
+	if len(instances) == 0 {
+		s.fail(w, "batch", http.StatusBadRequest, "empty batch")
+		return
+	}
+	s.runBatch(w, len(instances), func(i int) SolveResponse {
+		return s.solveInstance(r.Context(), algo, seed, instances[i])
+	})
+}
+
+// isBinary reports whether the request carries a wire-format body.
+func isBinary(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == sfcp.BinaryMediaType
+}
+
+// binaryParams resolves the query-string algorithm and seed of a binary
+// upload (the wire format itself carries only the instance).
+func binaryParams(r *http.Request) (sfcp.Algorithm, *uint64, error) {
+	q := r.URL.Query()
+	name := q.Get("algorithm")
+	if name == "" {
+		name = sfcp.AlgorithmAuto.String()
+	}
+	algo, err := sfcp.ParseAlgorithm(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	var seed *uint64
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("invalid seed %q: %w", raw, err)
+		}
+		seed = &v
+	}
+	return algo, seed, nil
+}
+
+// binaryDecoder wraps the request body in the byte limit, a byte counter
+// for the ingest metric, and a chunked wire-format reader capped at MaxN.
+func (s *Server) binaryDecoder(w http.ResponseWriter, r *http.Request) (*codec.Reader, *countingReader) {
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	dec := codec.NewReader(body)
+	dec.MaxN = s.cfg.MaxN
+	return dec, body
+}
+
+// decodeBinaryInstance reads one instance, its XXH64 trailer verified
+// chunk by chunk during the streamed decode — so no byte of the body is
+// read twice and corruption surfaces here, not as a wrong answer. Cache
+// keying happens later on the SHA-256 content address (see solveInstance).
+// io.EOF marks a clean end of stream.
+func decodeBinaryInstance(dec *codec.Reader) (sfcp.Instance, error) {
+	f, b, err := dec.Decode()
+	if err != nil {
+		return sfcp.Instance{}, err
+	}
+	return sfcp.Instance{F: f, B: b}, nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("batch")
 	if r.Method != http.MethodPost {
 		s.fail(w, "batch", http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if isBinary(r) {
+		s.handleBatchBinary(w, r)
 		return
 	}
 	var req BatchRequest
@@ -207,30 +399,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Instances), s.cfg.MaxBatch))
 		return
 	}
-	resp := BatchResponse{Results: make([]SolveResponse, len(req.Instances))}
-	var wg sync.WaitGroup
-	for i := range req.Instances {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			resp.Results[i] = s.solveOne(r.Context(), req.Instances[i], req.Algorithm)
-		}(i)
-	}
-	wg.Wait()
-	for i := range resp.Results {
-		if resp.Results[i].Error != "" {
-			resp.Errors++
-		}
-	}
-	if resp.Errors > 0 {
-		s.metrics.error("batch")
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.runBatch(w, len(req.Instances), func(i int) SolveResponse {
+		return s.solveOne(r.Context(), req.Instances[i], req.Algorithm)
+	})
 }
 
-// solveOne resolves algorithm and seed, consults the cache, and otherwise
-// schedules the solve on the algorithm's worker queue. It never panics the
-// handler: problems come back in SolveResponse.Error.
+// solveOne resolves a JSON request's algorithm and size limit, then hands
+// off to solveInstance. It never panics the handler: problems come back
+// in SolveResponse.Error.
 func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo string) SolveResponse {
 	name := req.Algorithm
 	if name == "" {
@@ -243,23 +419,39 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo str
 	if err != nil {
 		return SolveResponse{Algorithm: name, Error: err.Error()}
 	}
-	resp := SolveResponse{Algorithm: algo.String()}
 	if len(req.F) > s.cfg.MaxN {
-		resp.Error = fmt.Sprintf("instance of %d elements exceeds limit %d", len(req.F), s.cfg.MaxN)
-		return resp
+		return SolveResponse{
+			Algorithm: algo.String(),
+			Error:     fmt.Sprintf("instance of %d elements exceeds limit %d", len(req.F), s.cfg.MaxN),
+		}
 	}
+	return s.solveInstance(ctx, algo, req.Seed, sfcp.Instance{F: req.F, B: req.B})
+}
+
+// solveInstance consults the cache under the instance's SHA-256 content
+// address and otherwise schedules the solve on the algorithm's worker
+// queue. Both ingest formats share this keyspace deliberately: the wire
+// format's XXH64 trailer guards integrity but is not collision-resistant,
+// so cache correctness — where a crafted collision would serve one
+// instance another's labels — rests on the cryptographic digest, and a
+// JSON upload of an instance hits the entry its binary twin populated.
+// With caching disabled no digest is computed at all.
+func (s *Server) solveInstance(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) SolveResponse {
+	resp := SolveResponse{Algorithm: algo.String()}
 	seed := s.cfg.Seed
-	if req.Seed != nil {
-		seed = *req.Seed
+	if seedOverride != nil {
+		seed = *seedOverride
 	}
-	ins := sfcp.Instance{F: req.F, B: req.B}
-	key := fmt.Sprintf("%s/%d/%s", algo, seed, ins.Digest())
-	if res, ok := s.cache.Get(key); ok {
-		s.metrics.cache(true)
-		resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, true
-		return resp
+	var key string
+	if s.cache.enabled() {
+		key = fmt.Sprintf("%s/%d/%s", algo, seed, ins.Digest())
+		if res, ok := s.cache.Get(key); ok {
+			s.metrics.cache(true)
+			resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, true
+			return resp
+		}
+		s.metrics.cache(false)
 	}
-	s.metrics.cache(false)
 
 	start := time.Now()
 	res, err := s.pool.submit(ctx, algo, func() (sfcp.Result, error) {
@@ -276,7 +468,9 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo str
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		return resp
 	}
-	s.cache.Put(key, res)
+	if key != "" {
+		s.cache.Put(key, res)
+	}
 	resp.Labels, resp.NumClasses, resp.Stats = res.Labels, res.NumClasses, res.Stats
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	return resp
@@ -290,7 +484,9 @@ func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string)
 // decodeJSON parses the body under the configured byte limit, so oversized
 // payloads are cut off while streaming instead of after a full decode.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	defer func() { s.metrics.ingest("json", body.n) }()
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("invalid JSON body: %w", err)

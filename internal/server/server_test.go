@@ -298,6 +298,46 @@ func TestMixedWorkloadBatch(t *testing.T) {
 	}
 }
 
+func TestIsBinary(t *testing.T) {
+	cases := []struct {
+		contentType string
+		want        bool
+	}{
+		{"application/x-sfcp", true},
+		{"application/x-sfcp; charset=binary", true},
+		{"application/json", false},
+		{"", false},
+		{"garbage;;;", false},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(http.MethodPost, "/solve", nil)
+		if tc.contentType != "" {
+			r.Header.Set("Content-Type", tc.contentType)
+		}
+		if got := isBinary(r); got != tc.want {
+			t.Errorf("isBinary(%q) = %v, want %v", tc.contentType, got, tc.want)
+		}
+	}
+}
+
+func TestBinaryParams(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/solve?algorithm=hopcroft&seed=42", nil)
+	algo, seed, err := binaryParams(r)
+	if err != nil || algo != sfcp.AlgorithmHopcroft || seed == nil || *seed != 42 {
+		t.Errorf("got algo=%v seed=%v err=%v", algo, seed, err)
+	}
+	r = httptest.NewRequest(http.MethodPost, "/solve", nil)
+	algo, seed, err = binaryParams(r)
+	if err != nil || algo != sfcp.AlgorithmAuto || seed != nil {
+		t.Errorf("defaults: got algo=%v seed=%v err=%v", algo, seed, err)
+	}
+	for _, bad := range []string{"/solve?algorithm=quantum", "/solve?seed=-1", "/solve?seed=abc"} {
+		if _, _, err := binaryParams(httptest.NewRequest(http.MethodPost, bad, nil)); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
 func toJSON(t *testing.T, v any) string {
 	t.Helper()
 	b, err := json.Marshal(v)

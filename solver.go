@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sync"
 
 	"sfcp/internal/coarsest"
@@ -114,6 +115,21 @@ func (s *Solver) solveValidated(in coarsest.Instance, workers int) (Result, erro
 		opts.Workers = workers
 		return solveValidated(in, opts)
 	}
+}
+
+// SolveReader decodes one binary wire-format instance from r (see
+// internal/codec) and solves it with the solver's algorithm. The decode is
+// streamed in fixed-size chunks, so arbitrarily large instances cost no
+// peak memory beyond their own arrays; an empty stream returns io.EOF.
+// The chunked decode reads ahead, so bytes after the first instance may be
+// consumed — to solve a stream of concatenated instances, drain a single
+// NewBinaryDecoder and pass each Instance to Solve.
+func (s *Solver) SolveReader(r io.Reader) (Result, error) {
+	ins, err := DecodeBinary(r)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Solve(ins)
 }
 
 // SolveBatch solves every instance with the solver's algorithm, running up

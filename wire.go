@@ -1,0 +1,69 @@
+package sfcp
+
+import (
+	"io"
+
+	"sfcp/internal/codec"
+)
+
+// BinaryMediaType is the MIME type under which sfcpd accepts instances in
+// the binary wire format (see internal/codec for the layout).
+const BinaryMediaType = "application/x-sfcp"
+
+// EncodeBinary writes the instance to w in the sfcp binary wire format: a
+// versioned little-endian header, varint-packed F and B, and an XXH64
+// digest trailer, streamed through fixed-size chunks. The encoding is
+// canonical — equal instances produce identical bytes.
+func (ins Instance) EncodeBinary(w io.Writer) error {
+	return codec.Encode(w, ins.F, ins.B)
+}
+
+// DecodeBinary reads one binary wire-format instance from r. The decoder
+// works in fixed-size chunks, so peak extra memory beyond the returned
+// arrays is O(chunk); corruption and truncation are reported as errors
+// (the digest trailer is verified). A clean end of stream returns io.EOF.
+func DecodeBinary(r io.Reader) (Instance, error) {
+	f, b, err := codec.Decode(r)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{F: f, B: b}, nil
+}
+
+// DetectBinary reports whether prefix (4 bytes of lookahead suffice)
+// starts an sfcp binary stream rather than the whitespace text format.
+func DetectBinary(prefix []byte) bool { return codec.Detect(prefix) }
+
+// BinaryDecoder streams instances out of a binary wire-format stream. Its
+// chunked reads buffer ahead, so it — not repeated DecodeBinary calls on
+// the same reader — is the way to drain concatenated instances:
+//
+//	dec := sfcp.NewBinaryDecoder(r)
+//	for {
+//		ins, err := dec.Decode()
+//		if err == io.EOF {
+//			break
+//		}
+//		...
+//	}
+type BinaryDecoder struct {
+	r *codec.Reader
+}
+
+// NewBinaryDecoder returns a decoder reading wire-format instances from r.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	return &BinaryDecoder{r: codec.NewReader(r)}
+}
+
+// Decode reads the next instance; a clean end of stream returns io.EOF.
+func (d *BinaryDecoder) Decode() (Instance, error) {
+	f, b, err := d.r.Decode()
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{F: f, B: b}, nil
+}
+
+// Digest returns the hex wire digest of the most recently decoded
+// instance, a content address suitable as a cache key.
+func (d *BinaryDecoder) Digest() string { return d.r.Digest() }
