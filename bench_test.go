@@ -362,3 +362,16 @@ func BenchmarkSolveFacade(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkInstanceDigest measures content-addressing throughput — the
+// fixed cost every cache-hit request pays before it can be served.
+func BenchmarkInstanceDigest(b *testing.B) {
+	n := 1 << 18
+	wl := workload.RandomFunction(benchSeed, n, 3)
+	ins := Instance{F: wl.F, B: wl.B}
+	b.ReportAllocs()
+	b.SetBytes(int64(2 * n * 8))
+	for i := 0; i < b.N; i++ {
+		ins.Digest()
+	}
+}

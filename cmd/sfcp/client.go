@@ -1,0 +1,171 @@
+package main
+
+// The async client mode: -submit ships the instance to an sfcpd server's
+// job API instead of solving locally, and -wait polls the job to a
+// terminal state and prints the labels exactly like a local solve — so
+//
+//	sfcp -submit -server http://host:8080 -in big.bin -wait
+//
+// behaves like `sfcp -in big.bin` except the solve runs (and survives
+// client hiccups) on the server. Instances always travel as the binary
+// wire format regardless of the input format read.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"sfcp"
+	"sfcp/internal/jobs"
+)
+
+// jobClient talks to one sfcpd server's /jobs API.
+type jobClient struct {
+	base     string // server base URL, no trailing slash
+	http     *http.Client
+	poll     time.Duration
+	algo     string
+	seed     *uint64
+	priority int
+}
+
+// submit posts the instance as a binary-encoded job and returns the fresh
+// job's snapshot.
+func (c *jobClient) submit(ins sfcp.Instance) (jobs.Snapshot, error) {
+	q := url.Values{"algorithm": {c.algo}}
+	if c.seed != nil {
+		q.Set("seed", strconv.FormatUint(*c.seed, 10))
+	}
+	if c.priority != 0 {
+		q.Set("priority", strconv.Itoa(c.priority))
+	}
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(ins.EncodeBinary(pw)) }()
+	resp, err := c.http.Post(c.base+"/jobs?"+q.Encode(), sfcp.BinaryMediaType, pr)
+	if err != nil {
+		return jobs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return jobs.Snapshot{}, httpError("submit", resp)
+	}
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return jobs.Snapshot{}, fmt.Errorf("submit: decoding response: %w", err)
+	}
+	return snap, nil
+}
+
+// wait polls the job until it reaches a terminal state.
+func (c *jobClient) wait(id string) (jobs.Snapshot, error) {
+	for {
+		resp, err := c.http.Get(c.base + "/jobs/" + id)
+		if err != nil {
+			return jobs.Snapshot{}, err
+		}
+		var snap jobs.Snapshot
+		if resp.StatusCode != http.StatusOK {
+			err = httpError("poll", resp)
+		} else {
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			// Drain the trailing newline so the connection returns to the
+			// keep-alive pool — a long poll loop must not open a fresh TCP
+			// connection every interval.
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		if err != nil {
+			return jobs.Snapshot{}, err
+		}
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		time.Sleep(c.poll)
+	}
+}
+
+// fetchLabels downloads a done job's labels as the binary wire stream.
+func (c *jobClient) fetchLabels(id string) ([]int, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", sfcp.BinaryMediaType)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("result", resp)
+	}
+	return sfcp.DecodeLabelsBinary(resp.Body)
+}
+
+// httpError extracts the server's {"error": ...} body (or raw text) into a
+// readable error.
+func httpError(op string, resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var body struct {
+		Error string     `json:"error"`
+		State jobs.State `json:"state"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if err := json.Unmarshal(data, &body); err == nil {
+		switch {
+		case body.Error != "":
+			msg = body.Error
+		case body.State != "":
+			msg = fmt.Sprintf("job is %s", body.State)
+		}
+	}
+	return fmt.Errorf("%s: server returned %s: %s", op, resp.Status, msg)
+}
+
+// runClient drives the -submit [-wait] flow: submit, optionally poll to a
+// terminal state, and print either the job id (fire-and-forget) or the
+// labels (wait mode) to out, with the summary on errOut. It returns an
+// error for failed/cancelled jobs.
+func runClient(c *jobClient, ins sfcp.Instance, doWait bool, out, errOut io.Writer) error {
+	start := time.Now()
+	snap, err := c.submit(ins)
+	if err != nil {
+		return err
+	}
+	if !doWait {
+		fmt.Fprintln(out, snap.ID)
+		fmt.Fprintf(errOut, "submitted job %s: n=%d algo=%s state=%s\n",
+			snap.ID, snap.N, snap.Algorithm, snap.State)
+		return nil
+	}
+	snap, err = c.wait(snap.ID)
+	if err != nil {
+		return err
+	}
+	switch snap.State {
+	case jobs.StateDone:
+	case jobs.StateFailed:
+		return fmt.Errorf("job %s failed: %s", snap.ID, snap.Error)
+	default:
+		return fmt.Errorf("job %s was %s", snap.ID, snap.State)
+	}
+	labels, err := c.fetchLabels(snap.ID)
+	if err != nil {
+		return err
+	}
+	writeLabels(out, labels)
+	fmt.Fprintf(errOut, "n=%d classes=%d algo=%s solve=%.3fms wall=%v cached=%v job=%s\n",
+		snap.N, snap.NumClasses, snap.Algorithm, snap.ElapsedMS,
+		time.Since(start).Round(time.Microsecond), snap.Cached, snap.ID)
+	if snap.Stats != nil {
+		fmt.Fprintf(errOut, "rounds=%d work=%d maxprocs=%d reads=%d writes=%d cells=%d\n",
+			snap.Stats.Rounds, snap.Stats.Work, snap.Stats.MaxProcs,
+			snap.Stats.Reads, snap.Stats.Writes, snap.Stats.Cells)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sfcp"
+	"sfcp/internal/server"
+	"sfcp/internal/workload"
+)
+
+func newJobServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func testClient(ts *httptest.Server, algo string) *jobClient {
+	return &jobClient{
+		base: ts.URL,
+		http: http.DefaultClient,
+		poll: 2 * time.Millisecond,
+		algo: algo,
+	}
+}
+
+func TestClientSubmitFireAndForget(t *testing.T) {
+	ts := newJobServer(t)
+	ins := sfcp.Instance(workload.RandomFunction(5, 200, 3))
+	var out, errOut bytes.Buffer
+	if err := runClient(testClient(ts, "linear"), ins, false, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(out.String())
+	if len(id) != 32 { // 128-bit hex
+		t.Fatalf("stdout %q is not a job id", out.String())
+	}
+	if !strings.Contains(errOut.String(), "submitted job "+id) {
+		t.Errorf("stderr %q lacks the submit summary", errOut.String())
+	}
+	// The job is pollable afterwards and reaches done.
+	c := testClient(ts, "linear")
+	snap, err := c.wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != "done" {
+		t.Fatalf("job state %s", snap.State)
+	}
+}
+
+func TestClientSubmitWaitPrintsLabels(t *testing.T) {
+	ts := newJobServer(t)
+	ins := sfcp.Instance(workload.RandomFunction(9, 300, 3))
+	want, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: sfcp.AlgorithmLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := runClient(testClient(ts, "linear"), ins, true, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(out.String())
+	if len(fields) != len(want.Labels) {
+		t.Fatalf("printed %d labels, want %d", len(fields), len(want.Labels))
+	}
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			t.Fatalf("label %d: %q", i, f)
+		}
+		if v != want.Labels[i] {
+			t.Fatalf("label %d = %d, want %d", i, v, want.Labels[i])
+		}
+	}
+	if !strings.Contains(errOut.String(), "classes=") || !strings.Contains(errOut.String(), "job=") {
+		t.Errorf("stderr %q lacks the solve summary", errOut.String())
+	}
+}
+
+func TestClientWaitSurfacesFailure(t *testing.T) {
+	ts := newJobServer(t)
+	bad := sfcp.Instance{F: []int{5}, B: []int{0}} // invalid: solver will fail the job
+	var out, errOut bytes.Buffer
+	err := runClient(testClient(ts, "linear"), bad, true, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("failed job returned %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("failed job printed to stdout: %q", out.String())
+	}
+}
+
+func TestClientStatsForPRAMJob(t *testing.T) {
+	ts := newJobServer(t)
+	ins := sfcp.Instance(workload.RandomFunction(2, 64, 2))
+	var out, errOut bytes.Buffer
+	if err := runClient(testClient(ts, "parallel-pram"), ins, true, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "rounds=") {
+		t.Errorf("stderr %q lacks PRAM stats for a simulator job", errOut.String())
+	}
+}
+
+func TestClientSubmitServerErrors(t *testing.T) {
+	ts := newJobServer(t)
+	c := testClient(ts, "quantum") // unknown algorithm -> 400 at submit
+	err := runClient(c, sfcp.Instance{F: []int{0}, B: []int{0}}, false, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("submit error %v", err)
+	}
+}

@@ -11,10 +11,17 @@
 //
 // Output: one line with the n dense Q-labels, plus a summary on stderr.
 //
+// With -submit the instance is not solved locally: it is shipped (always
+// as the binary wire format) to an sfcpd server's async job API. Alone,
+// -submit prints the job id and returns immediately; with -wait the job is
+// polled to a terminal state and its labels are fetched and printed
+// exactly like a local solve (failed and cancelled jobs exit non-zero).
+//
 // Usage:
 //
 //	sfcp [-algo auto|moore|hopcroft|linear|parallel-pram|native-parallel|doubling-hash|doubling-sort]
 //	     [-in file] [-stats] [-workers n] [-seed s]
+//	     [-submit -server http://host:8080 [-wait] [-poll 250ms] [-priority p]]
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -37,7 +45,25 @@ func main() {
 	stats := flag.Bool("stats", false, "print PRAM complexity counters to stderr")
 	workers := flag.Int("workers", 0, "host goroutines for the parallel solvers (0 = NumCPU)")
 	seed := flag.Uint64("seed", 0, "simulator seed for the PRAM algorithms")
+	server := flag.String("server", "", "sfcpd base URL for -submit (e.g. http://localhost:8080)")
+	submit := flag.Bool("submit", false, "submit the instance as an async job to -server instead of solving locally")
+	wait := flag.Bool("wait", false, "with -submit: poll the job and print its labels when done")
+	poll := flag.Duration("poll", 250*time.Millisecond, "status polling interval for -wait")
+	priority := flag.Int("priority", 0, "job priority for -submit (higher runs sooner)")
 	flag.Parse()
+
+	// Usage mistakes are reported before any input is read: a bad flag
+	// combination must not block on stdin or decode a multi-GB file first.
+	if *submit && *server == "" {
+		fatal(errors.New("-submit requires -server"))
+	}
+	if *wait && !*submit {
+		fatal(errors.New("-wait requires -submit"))
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
 
 	var in io.Reader = os.Stdin
 	if *inPath != "" {
@@ -53,10 +79,27 @@ func main() {
 		fatal(err)
 	}
 
-	algo, err := parseAlgo(*algoName)
-	if err != nil {
-		fatal(err)
+	if *submit {
+		var seedOverride *uint64
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = seed
+			}
+		})
+		c := &jobClient{
+			base:     strings.TrimRight(*server, "/"),
+			http:     http.DefaultClient,
+			poll:     *poll,
+			algo:     algo.String(),
+			seed:     seedOverride,
+			priority: *priority,
+		}
+		if err := runClient(c, ins, *wait, os.Stdout, os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
 	}
+
 	start := time.Now()
 	res, err := sfcp.SolveWith(ins, sfcp.Options{Algorithm: algo, Workers: *workers, Seed: *seed})
 	if err != nil {
@@ -64,15 +107,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	w := bufio.NewWriter(os.Stdout)
-	for i, l := range res.Labels {
-		if i > 0 {
-			fmt.Fprint(w, " ")
-		}
-		fmt.Fprint(w, l)
-	}
-	fmt.Fprintln(w)
-	w.Flush()
+	writeLabels(os.Stdout, res.Labels)
 
 	fmt.Fprintf(os.Stderr, "n=%d classes=%d algo=%s wall=%v\n",
 		len(res.Labels), res.NumClasses, algo, elapsed.Round(time.Microsecond))
@@ -85,6 +120,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sfcp: -stats: algorithm %s reports no simulator stats (use parallel-pram, doubling-hash or doubling-sort)\n", algo)
 		}
 	}
+}
+
+// writeLabels prints the dense Q-labels as one space-separated line.
+func writeLabels(out io.Writer, labels []int) {
+	w := bufio.NewWriter(out)
+	for i, l := range labels {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, l)
+	}
+	fmt.Fprintln(w)
+	w.Flush()
 }
 
 func parseAlgo(name string) (sfcp.Algorithm, error) {

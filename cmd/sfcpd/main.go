@@ -4,20 +4,27 @@
 //
 // Endpoints:
 //
-//	POST /solve        {"algorithm":"auto","f":[1,0],"b":[0,1],"seed":0}
-//	POST /solve/batch  {"algorithm":"auto","instances":[{...},...]}
-//	GET  /healthz
-//	GET  /metrics
+//	POST   /solve            {"algorithm":"auto","f":[1,0],"b":[0,1],"seed":0}
+//	POST   /solve/batch      {"algorithm":"auto","instances":[{...},...]}
+//	POST   /jobs             async submit (same body plus "priority") -> 202 + job id
+//	GET    /jobs/{id}        job status: queued|running|done|failed|cancelled
+//	GET    /jobs/{id}/result labels (JSON, or binary with Accept: application/x-sfcp)
+//	DELETE /jobs/{id}        cooperative cancel
+//	GET    /healthz
+//	GET    /metrics
 //
-// Both POST routes also accept Content-Type: application/x-sfcp bodies in
-// the binary wire format (sfcpgen -format bin emits it), with ?algorithm=
-// and ?seed= query parameters; /solve/batch takes concatenated instances
-// and shards them into batch members as the upload streams.
+// The POST routes also accept Content-Type: application/x-sfcp bodies in
+// the binary wire format (sfcpgen -format bin emits it), with ?algorithm=,
+// ?seed= (and for /jobs ?priority=) query parameters; /solve/batch takes
+// concatenated instances and shards them into batch members as the upload
+// streams. Jobs queue per algorithm by priority, run on the same solver
+// pools as synchronous requests, and are evicted -job-ttl after finishing.
 //
 // Usage:
 //
 //	sfcpd [-addr :8080] [-pool-workers 2] [-queue 8] [-cache 1024]
 //	      [-max-n 1048576] [-max-batch 256] [-workers 0] [-seed 0]
+//	      [-job-ttl 10m] [-job-queue 1024]
 package main
 
 import (
@@ -46,6 +53,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 	workers := fs.Int("workers", 0, "host goroutines per solve (0 = NumCPU)")
 	seed := fs.Uint64("seed", 0, "default simulator seed")
 	maxBody := fs.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+	jobTTL := fs.Duration("job-ttl", 10*time.Minute, "how long finished async jobs are retained")
+	jobQueue := fs.Int("job-queue", 1024, "largest accepted async job backlog")
 	if err := fs.Parse(args); err != nil {
 		return "", server.Config{}, err
 	}
@@ -58,6 +67,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 		Workers:             *workers,
 		Seed:                *seed,
 		MaxBodyBytes:        *maxBody,
+		JobTTL:              *jobTTL,
+		JobMaxQueued:        *jobQueue,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sfcp"
 	"sfcp/internal/codec"
@@ -27,7 +28,8 @@ func TestParseFlags(t *testing.T) {
 			t.Errorf("addr = %q", addr)
 		}
 		if cfg.WorkersPerAlgorithm != 2 || cfg.CacheSize != 1024 || cfg.MaxN != 1<<20 ||
-			cfg.MaxBatch != 256 || cfg.MaxBodyBytes != 64<<20 || cfg.QueueDepth != 0 {
+			cfg.MaxBatch != 256 || cfg.MaxBodyBytes != 64<<20 || cfg.QueueDepth != 0 ||
+			cfg.JobTTL != 10*time.Minute || cfg.JobMaxQueued != 1024 {
 			t.Errorf("defaults mis-mapped: %+v", cfg)
 		}
 	})
@@ -35,7 +37,7 @@ func TestParseFlags(t *testing.T) {
 		addr, cfg, err := parseFlags(flag.NewFlagSet("sfcpd", flag.ContinueOnError), []string{
 			"-addr", ":9999", "-pool-workers", "5", "-queue", "7", "-cache", "-1",
 			"-max-n", "50", "-max-batch", "3", "-workers", "4", "-seed", "11",
-			"-max-body", "1024",
+			"-max-body", "1024", "-job-ttl", "90s", "-job-queue", "17",
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -43,6 +45,7 @@ func TestParseFlags(t *testing.T) {
 		want := server.Config{
 			WorkersPerAlgorithm: 5, QueueDepth: 7, CacheSize: -1, MaxN: 50,
 			MaxBatch: 3, Workers: 4, Seed: 11, MaxBodyBytes: 1024,
+			JobTTL: 90 * time.Second, JobMaxQueued: 17,
 		}
 		if addr != ":9999" || cfg != want {
 			t.Errorf("got addr=%q cfg=%+v, want addr=\":9999\" cfg=%+v", addr, cfg, want)

@@ -57,29 +57,67 @@ func (ins Instance) Validate() error {
 
 // NormalizeLabels renames labels to 0,1,2,... in order of first occurrence,
 // the canonical form used to compare solver outputs.
+//
+// Labels in [0, n) — the dense range every solver emits — are renamed
+// through a slice-backed table; anything outside it falls back to a map,
+// allocated only on first sparse label. Both runs once per solve, so the
+// dense path must not allocate a map.
 func NormalizeLabels(labels []int) []int {
-	out := make([]int, len(labels))
+	n := len(labels)
+	out := make([]int, n)
+	ids := make([]int, n) // ids[l] = assigned id + 1; 0 = unseen
 	next := 0
-	seen := make(map[int]int, len(labels))
+	var sparse map[int]int
 	for i, l := range labels {
-		id, ok := seen[l]
+		if uint(l) < uint(n) {
+			id := ids[l]
+			if id == 0 {
+				next++
+				id = next
+				ids[l] = id
+			}
+			out[i] = id - 1
+			continue
+		}
+		if sparse == nil {
+			sparse = make(map[int]int)
+		}
+		id, ok := sparse[l]
 		if !ok {
 			id = next
-			seen[l] = id
 			next++
+			sparse[l] = id
 		}
 		out[i] = id
 	}
 	return out
 }
 
-// NumClasses returns the number of distinct labels.
+// NumClasses returns the number of distinct labels. Dense labels (all in
+// [0, n)) are counted through a slice-backed seen-table with zero map
+// allocations; sparse labels fall back to a map.
 func NumClasses(labels []int) int {
-	seen := map[int]struct{}{}
+	n := len(labels)
+	seen := make([]bool, n)
+	count := 0
+	var sparse map[int]struct{}
 	for _, l := range labels {
-		seen[l] = struct{}{}
+		if uint(l) < uint(n) {
+			if !seen[l] {
+				seen[l] = true
+				count++
+			}
+			continue
+		}
+		if sparse == nil {
+			sparse = make(map[int]struct{})
+		}
+		if _, ok := sparse[l]; !ok {
+			sparse[l] = struct{}{}
+			count++
+		}
 	}
-	return len(seen)
+	return count
 }
 
 // SamePartition reports whether two labelings induce the same partition.

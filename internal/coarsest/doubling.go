@@ -1,6 +1,7 @@
 package coarsest
 
 import (
+	"context"
 	"math/bits"
 
 	"sfcp/internal/intsort"
@@ -24,28 +25,36 @@ import (
 // DoublingHashPRAM solves the coarsest partition problem by label doubling
 // with dictionary renaming (Galley–Iliopoulos-shape baseline).
 func DoublingHashPRAM(ins Instance, opts ParallelOptions) ParallelResult {
-	return doubling(ins, opts, true)
+	res, _ := DoublingHashPRAMContext(context.Background(), ins, opts)
+	return res
+}
+
+// DoublingHashPRAMContext is DoublingHashPRAM with per-step cooperative
+// cancellation (see ParallelPRAMContext).
+func DoublingHashPRAMContext(ctx context.Context, ins Instance, opts ParallelOptions) (ParallelResult, error) {
+	return doubling(ctx, ins, opts, true)
 }
 
 // DoublingSortPRAM solves the coarsest partition problem by label doubling
 // with sort-based renaming (Srikant-shape baseline).
 func DoublingSortPRAM(ins Instance, opts ParallelOptions) ParallelResult {
-	return doubling(ins, opts, false)
+	res, _ := DoublingSortPRAMContext(context.Background(), ins, opts)
+	return res
 }
 
-func doubling(ins Instance, opts ParallelOptions, useHash bool) ParallelResult {
+// DoublingSortPRAMContext is DoublingSortPRAM with per-step cooperative
+// cancellation (see ParallelPRAMContext).
+func DoublingSortPRAMContext(ctx context.Context, ins Instance, opts ParallelOptions) (ParallelResult, error) {
+	return doubling(ctx, ins, opts, false)
+}
+
+func doubling(ctx context.Context, ins Instance, opts ParallelOptions, useHash bool) (res ParallelResult, err error) {
+	defer recoverCancel(&err)
 	n := len(ins.F)
 	if n == 0 {
-		return ParallelResult{Labels: []int{}}
+		return ParallelResult{Labels: []int{}}, nil
 	}
-	var machineOpts []pram.Option
-	if opts.Workers > 0 {
-		machineOpts = append(machineOpts, pram.WithWorkers(opts.Workers))
-	}
-	if opts.Seed != 0 {
-		machineOpts = append(machineOpts, pram.WithSeed(opts.Seed))
-	}
-	m := pram.New(opts.Model, machineOpts...)
+	m := pram.New(opts.Model, machineOptions(ctx, opts)...)
 
 	fArr := m.NewArrayFromInts(ins.F)
 	labels := m.NewArrayFromInts(NormalizeLabels(ins.B))
@@ -81,5 +90,5 @@ func doubling(ins Instance, opts ParallelOptions, useHash bool) ParallelResult {
 		labels = ranks
 	}
 	out := NormalizeLabels(labels.Ints())
-	return ParallelResult{Labels: out, NumClasses: NumClasses(out), Stats: m.Stats()}
+	return ParallelResult{Labels: out, NumClasses: NumClasses(out), Stats: m.Stats()}, nil
 }

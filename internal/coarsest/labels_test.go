@@ -1,0 +1,132 @@
+package coarsest
+
+import (
+	"testing"
+)
+
+// denseLabels builds a worst-case-dense labeling: n elements, n/4 classes,
+// labels all inside [0, n) so the slice-backed fast path must carry every
+// element.
+func denseLabels(n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = (i * 7) % (n/4 + 1)
+	}
+	return labels
+}
+
+// sparseLabels spreads labels far outside [0, n) to force the map fallback.
+func sparseLabels(n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = (i%13)*1_000_003 + n
+	}
+	return labels
+}
+
+func TestNumClassesDenseAndSparseAgree(t *testing.T) {
+	ref := func(labels []int) int {
+		seen := map[int]struct{}{}
+		for _, l := range labels {
+			seen[l] = struct{}{}
+		}
+		return len(seen)
+	}
+	cases := [][]int{
+		nil,
+		{},
+		{0},
+		{5}, // single out-of-range label
+		{0, 0, 0},
+		{0, 1, 2, 1, 0},
+		{2, 2, 9, 9, 2}, // 9 out of range for n=5
+		{-3, 0, -3, 1},  // negative labels take the sparse path
+		denseLabels(1000),
+		sparseLabels(1000),
+		append(denseLabels(100), sparseLabels(100)...), // mixed
+	}
+	for i, labels := range cases {
+		if got, want := NumClasses(labels), ref(labels); got != want {
+			t.Errorf("case %d: NumClasses = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestNormalizeLabelsDenseAndSparseAgree(t *testing.T) {
+	ref := func(labels []int) []int {
+		out := make([]int, len(labels))
+		next := 0
+		seen := make(map[int]int, len(labels))
+		for i, l := range labels {
+			id, ok := seen[l]
+			if !ok {
+				id = next
+				seen[l] = id
+				next++
+			}
+			out[i] = id
+		}
+		return out
+	}
+	cases := [][]int{
+		{},
+		{0},
+		{7, 7, 7},
+		{3, 1, 4, 1, 5, 9, 2, 6}, // 9 out of range for n=8
+		{-1, 5, -1, 0, 5},
+		denseLabels(500),
+		sparseLabels(500),
+		append(denseLabels(64), sparseLabels(64)...),
+	}
+	for i, labels := range cases {
+		got, want := NormalizeLabels(labels), ref(labels)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: length %d, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Errorf("case %d: [%d] = %d, want %d", i, j, got[j], want[j])
+				break
+			}
+		}
+	}
+}
+
+// TestLabelsHotPathAllocs pins the allocation budget of the per-solve hot
+// path: dense labels must never allocate a map — NumClasses allocates
+// exactly its seen slice, NormalizeLabels its output and id table.
+func TestLabelsHotPathAllocs(t *testing.T) {
+	labels := denseLabels(4096)
+	if got := testing.AllocsPerRun(20, func() { NumClasses(labels) }); got > 1 {
+		t.Errorf("NumClasses(dense): %.1f allocs/op, want <= 1", got)
+	}
+	if got := testing.AllocsPerRun(20, func() { NormalizeLabels(labels) }); got > 2 {
+		t.Errorf("NormalizeLabels(dense): %.1f allocs/op, want <= 2", got)
+	}
+}
+
+func BenchmarkNumClassesDense(b *testing.B) {
+	labels := denseLabels(1 << 16)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(labels) * 8))
+	for i := 0; i < b.N; i++ {
+		NumClasses(labels)
+	}
+}
+
+func BenchmarkNumClassesSparse(b *testing.B) {
+	labels := sparseLabels(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NumClasses(labels)
+	}
+}
+
+func BenchmarkNormalizeLabelsDense(b *testing.B) {
+	labels := denseLabels(1 << 16)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(labels) * 8))
+	for i := 0; i < b.N; i++ {
+		NormalizeLabels(labels)
+	}
+}

@@ -1,6 +1,7 @@
 package coarsest
 
 import (
+	"context"
 	"math/bits"
 
 	"sync/atomic"
@@ -76,9 +77,22 @@ func NativeParallel(ins Instance, workers int) []int {
 // buffers; sc may be nil (a fresh arena is used). Only the returned labels
 // escape — every internal vector comes from sc.
 func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
+	labels, _ := NativeParallelCtx(context.Background(), ins, workers, sc)
+	return labels
+}
+
+// NativeParallelCtx is NativeParallelScratch with cooperative cancellation:
+// ctx is polled between refinement rounds (every pointer-doubling span and
+// code-doubling iteration), so a cancelled solve returns ctx.Err() within
+// one O(n) round instead of running minutes to a discarded answer. The
+// scratch arena is left reusable on either path.
+func NativeParallelCtx(ctx context.Context, ins Instance, workers int, sc *Scratch) ([]int, error) {
 	n := len(ins.F)
 	if n == 0 {
-		return []int{}
+		return []int{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if sc == nil {
 		sc = &Scratch{}
@@ -97,6 +111,9 @@ func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 		}
 	})
 	for span := 1; span < n; span <<= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(workers, n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				tmp[i] = g[g[i]]
@@ -128,6 +145,9 @@ func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 		}
 	})
 	for span := 1; span < n; span <<= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(workers, n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				j := jump[i]
@@ -142,6 +162,9 @@ func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 
 	// Phase 3: enumerate cycles (cheap sequential pass over cycle nodes),
 	// then canonize every cycle in parallel.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var cycles [][]int
 	rankOf := sc.bufI32(n)
 	cycleID := sc.bufI32(n)
@@ -272,6 +295,9 @@ func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 		}
 	}
 	for span := 1; span <= int(maxLevel); span <<= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(workers, n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				j := jb[i]
@@ -310,6 +336,9 @@ func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 	})
 	iters := bits.Len(uint(maxLevel+1)) + 1
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		par.For(workers, n, func(lo, hi int) {
 			for x := lo; x < hi; x++ {
 				if labeled[x] {
@@ -347,5 +376,5 @@ func NativeParallelScratch(ins Instance, workers int, sc *Scratch) []int {
 		}
 		labels[x] = id
 	}
-	return labels
+	return labels, nil
 }

@@ -1,6 +1,7 @@
 package coarsest
 
 import (
+	"context"
 	"math/bits"
 
 	"sfcp/internal/circ"
@@ -52,18 +53,21 @@ type ParallelResult struct {
 // per-cycle work into shared steps uses head-flag segmented primitives; see
 // DESIGN.md for the measured-versus-stated cost discussion.
 func ParallelPRAM(ins Instance, opts ParallelOptions) ParallelResult {
+	// Background is never cancelled, so no error path exists here.
+	res, _ := ParallelPRAMContext(context.Background(), ins, opts)
+	return res
+}
+
+// ParallelPRAMContext is ParallelPRAM with cooperative cancellation: ctx is
+// polled at the start of every simulated PRAM step (see pram.WithCancel),
+// so a cancelled solve aborts within one step and returns ctx.Err().
+func ParallelPRAMContext(ctx context.Context, ins Instance, opts ParallelOptions) (res ParallelResult, err error) {
+	defer recoverCancel(&err)
 	n := len(ins.F)
 	if n == 0 {
-		return ParallelResult{Labels: []int{}}
+		return ParallelResult{Labels: []int{}}, nil
 	}
-	var machineOpts []pram.Option
-	if opts.Workers > 0 {
-		machineOpts = append(machineOpts, pram.WithWorkers(opts.Workers))
-	}
-	if opts.Seed != 0 {
-		machineOpts = append(machineOpts, pram.WithSeed(opts.Seed))
-	}
-	m := pram.New(opts.Model, machineOpts...)
+	m := pram.New(opts.Model, machineOptions(ctx, opts)...)
 
 	fArr := m.NewArrayFromInts(ins.F)
 	bArr := m.NewArrayFromInts(ins.B)
@@ -86,6 +90,35 @@ func ParallelPRAM(ins Instance, opts ParallelOptions) ParallelResult {
 		Labels:     NormalizeLabels(ranks.Ints()),
 		NumClasses: int(distinct),
 		Stats:      m.Stats(),
+	}, nil
+}
+
+// machineOptions maps ParallelOptions (plus a context) onto simulator
+// options; the cancellation hook is installed only for cancellable contexts
+// so the common Background path costs nothing per step.
+func machineOptions(ctx context.Context, opts ParallelOptions) []pram.Option {
+	var machineOpts []pram.Option
+	if opts.Workers > 0 {
+		machineOpts = append(machineOpts, pram.WithWorkers(opts.Workers))
+	}
+	if opts.Seed != 0 {
+		machineOpts = append(machineOpts, pram.WithSeed(opts.Seed))
+	}
+	if ctx.Done() != nil {
+		machineOpts = append(machineOpts, pram.WithCancel(ctx.Err))
+	}
+	return machineOpts
+}
+
+// recoverCancel converts the simulator's cancellation panic back into the
+// context error at the algorithm boundary; other panics propagate.
+func recoverCancel(err *error) {
+	if r := recover(); r != nil {
+		cerr, ok := pram.Cancelled(r)
+		if !ok {
+			panic(r)
+		}
+		*err = cerr
 	}
 }
 

@@ -48,6 +48,12 @@ const (
 	minChunk      = 64 // room for a header and a worst-case varint per refill
 	maxEmptyReads = 100
 	maxInt        = int(^uint(0) >> 1)
+
+	// flagLabels marks a labels-only stream: the payload is a single
+	// varint-packed array (a solve result) instead of an instance's F+B
+	// pair. Header, digest trailer and chunking are identical, so the two
+	// stream kinds share all machinery and the magic still sniffs both.
+	flagLabels = 0x1
 )
 
 var magic = [4]byte{'S', 'F', 'C', 'P'}
@@ -55,6 +61,13 @@ var magic = [4]byte{'S', 'F', 'C', 'P'}
 // ErrBadMagic reports that a stream does not start with the "SFCP" magic —
 // the signal format sniffers use to fall back to the text format.
 var ErrBadMagic = errors.New("codec: bad magic (not an sfcp binary stream)")
+
+// ErrDigestMismatch reports that a fully framed instance failed its XXH64
+// trailer check. Unlike truncation or a bad varint, the failure is
+// positionally recoverable: every byte of the instance (trailer included)
+// was consumed, so the reader sits at the next instance boundary and batch
+// ingest can skip the corrupt member instead of aborting the stream.
+var ErrDigestMismatch = errors.New("codec: digest mismatch")
 
 // Detect reports whether prefix begins with the binary-format magic.
 // Four bytes of lookahead are enough.
@@ -91,6 +104,19 @@ func Encode(w io.Writer, f, b []int) error {
 // Decode reads one instance from r.
 func Decode(r io.Reader) (f, b []int, err error) {
 	return NewReader(r).Decode()
+}
+
+// EncodeLabels writes one labels-only stream to w: same header, varint
+// packing, chunking and digest trailer as an instance, but the flags byte
+// marks a single array. It carries solve results (dense Q-labels) over the
+// wire, e.g. from sfcpd's job-result endpoint.
+func EncodeLabels(w io.Writer, labels []int) error {
+	return NewWriter(w).EncodeLabels(labels)
+}
+
+// DecodeLabels reads one labels-only stream from r.
+func DecodeLabels(r io.Reader) ([]int, error) {
+	return NewReader(r).DecodeLabels()
 }
 
 // Writer streams instances to an io.Writer through a fixed-size chunk
@@ -133,23 +159,38 @@ func (w *Writer) Encode(f, b []int) error {
 			return fmt.Errorf("codec: B[%d] = %d negative", i, v)
 		}
 	}
+	return w.emit(0, uint64(len(f)), f, b)
+}
+
+// EncodeLabels writes one labels-only stream (flags = flagLabels): n
+// followed by a single varint-packed array, framed and digested exactly
+// like an instance. Negative labels are rejected up front.
+func (w *Writer) EncodeLabels(labels []int) error {
+	for i, v := range labels {
+		if v < 0 {
+			return fmt.Errorf("codec: label[%d] = %d negative", i, v)
+		}
+	}
+	return w.emit(flagLabels, uint64(len(labels)), labels)
+}
+
+// emit writes header (with the given flags), n, the arrays' varints and
+// the digest trailer, flushing chunk by chunk.
+func (w *Writer) emit(flags byte, n uint64, arrays ...[]int) error {
 	w.hash.reset()
 	w.n = 0
 	copy(w.buf, magic[:])
 	w.buf[4] = Version
-	w.buf[5] = 0 // flags
+	w.buf[5] = flags
 	w.n = headerSize
-	if err := w.putUvarint(uint64(len(f))); err != nil {
+	if err := w.putUvarint(n); err != nil {
 		return err
 	}
-	for _, v := range f {
-		if err := w.putUvarint(uint64(v)); err != nil {
-			return err
-		}
-	}
-	for _, v := range b {
-		if err := w.putUvarint(uint64(v)); err != nil {
-			return err
+	for _, arr := range arrays {
+		for _, v := range arr {
+			if err := w.putUvarint(uint64(v)); err != nil {
+				return err
+			}
 		}
 	}
 	if err := w.flushHashed(); err != nil {
@@ -229,33 +270,10 @@ func (r *Reader) Decode() (f, b []int, err error) { return r.DecodeInto(nil, nil
 // it suffices and reallocating otherwise; it returns the slices actually
 // filled. On error the contents of f and b are unspecified.
 func (r *Reader) DecodeInto(f, b []int) ([]int, []int, error) {
-	r.hash.reset()
-	r.hpos = r.pos // discard consumed-but-unhashed bytes from a previous decode
-	if err := r.need(headerSize); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) && r.end == r.pos {
-			return nil, nil, io.EOF // clean end of stream
-		}
-		return nil, nil, err
-	}
-	hdr := r.buf[r.pos : r.pos+headerSize]
-	if !Detect(hdr) {
-		return nil, nil, ErrBadMagic
-	}
-	if hdr[4] != Version {
-		return nil, nil, fmt.Errorf("codec: unsupported version %d (want %d)", hdr[4], Version)
-	}
-	if hdr[5] != 0 {
-		return nil, nil, fmt.Errorf("codec: unsupported flags %#x", hdr[5])
-	}
-	r.pos += headerSize
-	un, err := r.readUvarint()
+	n, err := r.readHeader(0)
 	if err != nil {
 		return nil, nil, err
 	}
-	if un > uint64(r.MaxN) || un > uint64(maxInt) {
-		return nil, nil, fmt.Errorf("codec: instance of %d elements exceeds limit %d", un, r.MaxN)
-	}
-	n := int(un)
 	f = grow(f, n)
 	b = grow(b, n)
 	for _, dst := range [2][]int{f, b} {
@@ -270,20 +288,90 @@ func (r *Reader) DecodeInto(f, b []int) ([]int, []int, error) {
 			dst[i] = int(v)
 		}
 	}
+	if err := r.verifyTrailer(); err != nil {
+		return nil, nil, err
+	}
+	return f, b, nil
+}
+
+// DecodeLabels reads one labels-only stream (flags = flagLabels) and
+// returns the array; a clean end of stream returns io.EOF. A stream whose
+// flags mark an instance is rejected — the two kinds are not confusable.
+func (r *Reader) DecodeLabels() ([]int, error) {
+	n, err := r.readHeader(flagLabels)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		v, err := r.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v > uint64(maxInt) {
+			return nil, fmt.Errorf("codec: value %d overflows int", v)
+		}
+		labels[i] = int(v)
+	}
+	if err := r.verifyTrailer(); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// readHeader resets the per-stream digest, validates magic, version and
+// flags (wantFlags selects the stream kind) and returns the element count
+// n. A clean end of stream surfaces as io.EOF.
+func (r *Reader) readHeader(wantFlags byte) (int, error) {
+	r.hash.reset()
+	r.hpos = r.pos // discard consumed-but-unhashed bytes from a previous decode
+	if err := r.need(headerSize); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) && r.end == r.pos {
+			return 0, io.EOF // clean end of stream
+		}
+		return 0, err
+	}
+	hdr := r.buf[r.pos : r.pos+headerSize]
+	if !Detect(hdr) {
+		return 0, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return 0, fmt.Errorf("codec: unsupported version %d (want %d)", hdr[4], Version)
+	}
+	if hdr[5] != wantFlags {
+		if wantFlags == flagLabels {
+			return 0, fmt.Errorf("codec: not a labels stream (flags %#x)", hdr[5])
+		}
+		return 0, fmt.Errorf("codec: unsupported flags %#x", hdr[5])
+	}
+	r.pos += headerSize
+	un, err := r.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if un > uint64(r.MaxN) || un > uint64(maxInt) {
+		return 0, fmt.Errorf("codec: instance of %d elements exceeds limit %d", un, r.MaxN)
+	}
+	return int(un), nil
+}
+
+// verifyTrailer checks the XXH64 trailer against the digest accumulated
+// over the consumed stream bytes and records the content address.
+func (r *Reader) verifyTrailer() error {
 	// Everything consumed so far is covered by the digest; the trailer is not.
 	r.flushHash()
 	sum := r.hash.sum()
 	if err := r.need(TrailerSize); err != nil {
-		return nil, nil, err
+		return err
 	}
 	want := binary.LittleEndian.Uint64(r.buf[r.pos:])
 	r.pos += TrailerSize
 	r.hpos = r.pos // trailer bytes are consumed but never hashed
 	if sum != want {
-		return nil, nil, fmt.Errorf("codec: digest mismatch: body hashes to %016x, trailer says %016x", sum, want)
+		return fmt.Errorf("%w: body hashes to %016x, trailer says %016x", ErrDigestMismatch, sum, want)
 	}
 	r.digest = sum
-	return f, b, nil
+	return nil
 }
 
 // Digest returns the hex wire digest of the most recently decoded

@@ -1,0 +1,116 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLabelsRoundTrip(t *testing.T) {
+	cases := [][]int{
+		{},
+		{0},
+		{0, 1, 2, 1, 0},
+		make([]int, 10_000), // long run of zeros
+	}
+	for i := range cases[3] {
+		cases[3][i] = (i * 31) % 997
+	}
+	for i, labels := range cases {
+		var buf bytes.Buffer
+		if err := EncodeLabels(&buf, labels); err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := DecodeLabels(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(got) != len(labels) {
+			t.Fatalf("case %d: length %d, want %d", i, len(got), len(labels))
+		}
+		for j := range got {
+			if got[j] != labels[j] {
+				t.Fatalf("case %d: [%d] = %d, want %d", i, j, got[j], labels[j])
+			}
+		}
+	}
+}
+
+func TestLabelsStreamKindsNotConfusable(t *testing.T) {
+	var ins, lab bytes.Buffer
+	if err := Encode(&ins, []int{0, 1}, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeLabels(&lab, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeLabels(bytes.NewReader(ins.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "not a labels stream") {
+		t.Errorf("instance stream decoded as labels: %v", err)
+	}
+	if _, _, err := Decode(bytes.NewReader(lab.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "flags") {
+		t.Errorf("labels stream decoded as instance: %v", err)
+	}
+}
+
+func TestLabelsRejectsAndEOF(t *testing.T) {
+	if err := EncodeLabels(io.Discard, []int{0, -1}); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := DecodeLabels(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeLabels(&buf, []int{3, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte: the trailer must catch it.
+	wire := bytes.Clone(buf.Bytes())
+	wire[headerSize+1] ^= 0x40
+	if _, err := DecodeLabels(bytes.NewReader(wire)); !errors.Is(err, ErrDigestMismatch) {
+		t.Errorf("corrupted labels stream: err = %v, want ErrDigestMismatch", err)
+	}
+	// Truncation is a distinct, non-recoverable error.
+	if _, err := DecodeLabels(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil ||
+		!errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated labels stream: err = %v, want unexpected EOF", err)
+	}
+}
+
+// TestDigestMismatchLeavesReaderAligned pins the recovery property batch
+// ingest relies on: after ErrDigestMismatch the reader sits exactly at the
+// next instance boundary, so subsequent members still decode.
+func TestDigestMismatchLeavesReaderAligned(t *testing.T) {
+	var stream bytes.Buffer
+	if err := Encode(&stream, []int{1, 0}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&stream, []int{0, 1, 2}, []int{2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	wire := bytes.Clone(stream.Bytes())
+	// Flip a low bit of member 0's F[0] varint (1 -> 0): the value changes
+	// but every varint keeps its width, so only the digest notices.
+	wire[headerSize+1] ^= 0x01
+
+	r := NewReader(bytes.NewReader(wire))
+	if _, _, err := r.Decode(); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("member 0: err = %v, want ErrDigestMismatch", err)
+	}
+	f, b, err := r.Decode()
+	if err != nil {
+		t.Fatalf("member 1 after mismatch: %v", err)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if f[i] != want[i] || b[i] != want[2-i] {
+			t.Fatalf("member 1 decoded wrong: f=%v b=%v", f, b)
+		}
+	}
+	if _, _, err := r.Decode(); err != io.EOF {
+		t.Fatalf("stream end: err = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,520 @@
+// Package jobs implements sfcpd's asynchronous job subsystem: a
+// durable-in-memory job store plus a scheduler that feeds the server's
+// per-algorithm solver pools. A client submits an instance and gets a job
+// id back immediately; the solve runs in the background while the client
+// polls status and fetches the result when it is done — so a 10^8-element
+// upload no longer ties an HTTP connection to a minutes-long synchronous
+// solve, and a client timeout no longer silently wastes the work.
+//
+// Lifecycle:
+//
+//	queued ──▶ running ──▶ done | failed | cancelled
+//	   └──────────────────────────────────▶ cancelled
+//
+// Jobs wait in one priority queue per algorithm (higher Priority first,
+// FIFO within a priority), mirroring the per-algorithm isolation of the
+// solver pools: a burst of slow simulator jobs cannot delay cheap
+// sequential ones. Each algorithm has a fixed crew of dispatchers that pop
+// the queue and execute the solve through the SolveFunc the server wires
+// in (cache, pool scheduling and metrics stay in one place).
+//
+// Cancellation is cooperative: cancelling a queued job removes it from the
+// queue; cancelling a running job cancels its context, which the solvers
+// poll between refinement rounds / simulated PRAM steps, so the job
+// reaches the cancelled state within one round. Terminal jobs (and their
+// results) are evicted TTL seconds after finishing by a janitor tick.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sfcp"
+)
+
+// State is a job's position in the lifecycle.
+type State string
+
+// The five job states. Done, Failed and Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again
+// (until eviction removes it entirely).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SolveFunc executes one job's solve under ctx. The server wires in its
+// cache + per-algorithm pool path, so async jobs and synchronous requests
+// share scheduling, memoization and metrics. cached reports a memoized
+// result (surfaced in the job snapshot).
+type SolveFunc func(ctx context.Context, algo sfcp.Algorithm, seed *uint64, ins sfcp.Instance) (res sfcp.Result, cached bool, err error)
+
+// Config sizes the manager. Zero values select the documented defaults.
+type Config struct {
+	// MaxQueued bounds jobs waiting across all algorithms (default 1024).
+	// Submit fails once the bound is hit — the backpressure signal.
+	MaxQueued int
+	// DispatchersPerAlgorithm is how many jobs of one algorithm may be in
+	// flight at once (default 2, matching the solver pool's worker crews).
+	DispatchersPerAlgorithm int
+	// TTL is how long terminal jobs (and their results) are retained
+	// before eviction (default 10 minutes).
+	TTL time.Duration
+	// Tick is the janitor's eviction interval (default 1 second).
+	Tick time.Duration
+
+	// now is the test hook for eviction clocks (default time.Now).
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 1024
+	}
+	if c.DispatchersPerAlgorithm <= 0 {
+		c.DispatchersPerAlgorithm = 2
+	}
+	if c.TTL <= 0 {
+		c.TTL = 10 * time.Minute
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when MaxQueued jobs are waiting.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// job is the internal record; all fields are guarded by the manager mutex
+// except ins/algo/seed/priority, which are immutable after Submit.
+type job struct {
+	id       string
+	algo     sfcp.Algorithm
+	seed     *uint64
+	priority int
+	n        int
+	ins      sfcp.Instance // released in finishLocked; n survives for snapshots
+
+	state     State
+	seq       uint64 // FIFO tie-break within a priority
+	heapIndex int    // position in its queue, -1 when not queued
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	res    sfcp.Result
+	cached bool
+	errMsg string
+
+	cancelRequested bool
+	cancel          context.CancelFunc // non-nil while running
+}
+
+// Snapshot is the externally visible, JSON-serializable view of a job.
+// Labels are deliberately absent — status polls stay cheap; results travel
+// through Result.
+type Snapshot struct {
+	ID          string      `json:"id"`
+	State       State       `json:"state"`
+	Algorithm   string      `json:"algorithm"`
+	Priority    int         `json:"priority,omitempty"`
+	N           int         `json:"n"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	ElapsedMS   float64     `json:"elapsed_ms,omitempty"`
+	NumClasses  int         `json:"num_classes,omitempty"`
+	Cached      bool        `json:"cached,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Stats       *sfcp.Stats `json:"stats,omitempty"`
+}
+
+// Counts is a point-in-time tally of the store, for metrics export.
+type Counts struct {
+	Queued, Running                    int
+	Submitted, Done, Failed, Cancelled int64
+	Evicted                            int64
+}
+
+// Manager owns the job store, the per-algorithm queues and the dispatcher
+// and janitor goroutines. Create one with New; Close releases it.
+type Manager struct {
+	cfg   Config
+	solve SolveFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals dispatchers: queue non-empty or closing
+	jobs   map[string]*job
+	queues map[sfcp.Algorithm]*jobQueue
+	queued int
+	seq    uint64
+	closed bool
+
+	submitted, done, failed, cancelled, evicted int64
+	running                                     int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a manager with one dispatcher crew per algorithm plus the
+// eviction janitor. solve must be non-nil.
+func New(cfg Config, solve SolveFunc) *Manager {
+	m := &Manager{
+		cfg:    cfg.withDefaults(),
+		solve:  solve,
+		jobs:   map[string]*job{},
+		queues: map[sfcp.Algorithm]*jobQueue{},
+		stop:   make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	// The queues map is complete before any dispatcher starts: dispatchers
+	// read it under the mutex, but New writes it outside (nothing else can
+	// hold a *Manager yet), so interleaving spawn with population would race.
+	for _, algo := range sfcp.Algorithms() {
+		m.queues[algo] = &jobQueue{}
+	}
+	for _, algo := range sfcp.Algorithms() {
+		for d := 0; d < m.cfg.DispatchersPerAlgorithm; d++ {
+			m.wg.Add(1)
+			go m.dispatch(algo)
+		}
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m
+}
+
+// Close cancels running jobs, stops the dispatchers and janitor, and waits
+// for them. Queued jobs transition to cancelled; Submit fails afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	now := m.cfg.now()
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			m.queues[j.algo].remove(j)
+			m.queued--
+			m.finishLocked(j, StateCancelled, "server shutting down", now)
+		case StateRunning:
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	close(m.stop)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Submit enqueues one job and returns its snapshot (the id is fresh and
+// unguessable). It fails fast with ErrQueueFull or ErrClosed; instance
+// validity is the solver's concern and surfaces as a failed job.
+func (m *Manager) Submit(algo sfcp.Algorithm, seed *uint64, priority int, ins sfcp.Instance) (Snapshot, error) {
+	id, err := newID()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrClosed
+	}
+	if m.queued >= m.cfg.MaxQueued {
+		return Snapshot{}, fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, m.queued)
+	}
+	q, ok := m.queues[algo]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("jobs: no queue for algorithm %v", algo)
+	}
+	m.seq++
+	j := &job{
+		id:        id,
+		algo:      algo,
+		seed:      seed,
+		priority:  priority,
+		n:         len(ins.F),
+		ins:       ins,
+		state:     StateQueued,
+		seq:       m.seq,
+		submitted: m.cfg.now(),
+	}
+	m.jobs[id] = j
+	heap.Push(q, j)
+	m.queued++
+	m.submitted++
+	m.cond.Broadcast()
+	return m.snapshotLocked(j), nil
+}
+
+// Get returns a job's snapshot.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Result returns a done job's result alongside its snapshot. ok is false
+// for unknown ids; a known job that is not done returns ok with a zero
+// Result — callers branch on Snapshot.State.
+func (m *Manager) Result(id string) (sfcp.Result, Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return sfcp.Result{}, Snapshot{}, false
+	}
+	if j.state != StateDone {
+		return sfcp.Result{}, m.snapshotLocked(j), true
+	}
+	return j.res, m.snapshotLocked(j), true
+}
+
+// Cancel requests cancellation. Queued jobs are removed and become
+// cancelled immediately; running jobs have their context cancelled and
+// reach the cancelled state when the solver's next cooperative check
+// fires. Terminal jobs are unchanged (cancel is idempotent).
+func (m *Manager) Cancel(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		m.queues[j.algo].remove(j)
+		m.queued--
+		m.finishLocked(j, StateCancelled, "cancelled before start", m.cfg.now())
+	case StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Counts tallies the store for metrics export.
+func (m *Manager) Counts() Counts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Counts{
+		Queued:    m.queued,
+		Running:   m.running,
+		Submitted: m.submitted,
+		Done:      m.done,
+		Failed:    m.failed,
+		Cancelled: m.cancelled,
+		Evicted:   m.evicted,
+	}
+}
+
+// dispatch is one dispatcher goroutine: pop the algorithm's queue, run the
+// solve under the job's cancellable context, finalize.
+func (m *Manager) dispatch(algo sfcp.Algorithm) {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		q := m.queues[algo]
+		for q.Len() == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(q).(*job)
+		m.queued--
+		j.state = StateRunning
+		j.started = m.cfg.now()
+		m.running++
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		m.mu.Unlock()
+
+		res, cached, err := m.solve(ctx, j.algo, j.seed, j.ins)
+		cancel()
+
+		m.mu.Lock()
+		m.running--
+		j.cancel = nil
+		now := m.cfg.now()
+		switch {
+		case j.cancelRequested:
+			// The client's DELETE wins even over a solve that slipped past
+			// the last cooperative check: the result is discarded.
+			m.finishLocked(j, StateCancelled, context.Canceled.Error(), now)
+		case err != nil:
+			state := StateFailed
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				state = StateCancelled
+			}
+			m.finishLocked(j, state, err.Error(), now)
+		default:
+			j.res = res
+			j.cached = cached
+			m.finishLocked(j, StateDone, "", now)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// finishLocked moves a job to a terminal state and bumps the tallies. The
+// input arrays are released here rather than at eviction: a finished
+// 10^8-element job would otherwise pin gigabytes of dead F+B for the whole
+// TTL window (only n is needed for later snapshots).
+func (m *Manager) finishLocked(j *job, state State, errMsg string, now time.Time) {
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = now
+	j.ins = sfcp.Instance{}
+	switch state {
+	case StateDone:
+		m.done++
+	case StateFailed:
+		m.failed++
+	case StateCancelled:
+		m.cancelled++
+	}
+}
+
+// janitor evicts terminal jobs TTL after they finished, every Tick.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.evictExpired()
+		}
+	}
+}
+
+func (m *Manager) evictExpired() {
+	cutoff := m.cfg.now().Add(-m.cfg.TTL)
+	m.mu.Lock()
+	for id, j := range m.jobs {
+		if j.state.Terminal() && j.finished.Before(cutoff) {
+			delete(m.jobs, id)
+			m.evicted++
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) snapshotLocked(j *job) Snapshot {
+	s := Snapshot{
+		ID:          j.id,
+		State:       j.state,
+		Algorithm:   j.algo.String(),
+		Priority:    j.priority,
+		N:           j.n,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+		end := j.finished
+		if end.IsZero() {
+			end = m.cfg.now()
+		}
+		s.ElapsedMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	if j.state == StateDone {
+		s.NumClasses = j.res.NumClasses
+		s.Cached = j.cached
+		s.Stats = j.res.Stats
+	}
+	return s
+}
+
+// newID returns a fresh 128-bit hex job id.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: id generation: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// jobQueue is a max-heap by (priority, then submission order). It
+// implements heap.Interface; the manager mutex guards every access.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIndex = i
+	q[j].heapIndex = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIndex = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*q = old[:n-1]
+	return j
+}
+
+// remove deletes a specific job from the queue (for cancellation).
+func (q *jobQueue) remove(j *job) {
+	if j.heapIndex >= 0 && j.heapIndex < q.Len() && (*q)[j.heapIndex] == j {
+		heap.Remove(q, j.heapIndex)
+	}
+}

@@ -111,6 +111,7 @@ type Machine struct {
 	seed    uint64
 	workers int
 	strict  bool
+	cancel  func() error
 
 	mem []int64
 
@@ -147,6 +148,29 @@ func WithWorkers(w int) Option {
 			m.workers = w
 		}
 	}
+}
+
+// WithCancel installs a cooperative cancellation check (typically a
+// context's Err method), polled once at the start of every synchronous
+// step. When the check returns a non-nil error the machine aborts the step
+// loop by panicking with a value recognized by Cancelled, so deeply nested
+// algorithms unwind without threading an error through every subroutine.
+// Callers at the algorithm boundary recover and convert it back to the
+// error (see coarsest.ParallelPRAMContext).
+func WithCancel(check func() error) Option {
+	return func(m *Machine) { m.cancel = check }
+}
+
+// cancelPanic carries the cancellation cause through the unwinding stack.
+type cancelPanic struct{ err error }
+
+// Cancelled reports whether a recovered panic value marks a step-loop
+// cancellation, returning the underlying cause (the cancel check's error).
+func Cancelled(r any) (error, bool) {
+	if c, ok := r.(cancelPanic); ok {
+		return c.err, true
+	}
+	return nil, false
 }
 
 // WithStrict makes the machine detect and report model violations
@@ -360,6 +384,14 @@ func (m *Machine) ParDo(nprocs int, body func(c *Ctx, p int)) {
 	}
 	if nprocs == 0 {
 		return
+	}
+	// The cooperative cancellation point of the step loop: checked on the
+	// host goroutine before processors launch, so the panic is recoverable
+	// by the algorithm's caller (a panic inside a step worker would not be).
+	if m.cancel != nil {
+		if err := m.cancel(); err != nil {
+			panic(cancelPanic{err: err})
+		}
 	}
 	m.stats.Rounds++
 	m.stats.Work += int64(nprocs)

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"sfcp/internal/jobs"
 )
 
 // metrics aggregates the counters exposed at /metrics: per-route request
@@ -130,6 +132,25 @@ func (m *metrics) render() string {
 	for _, algo := range sortedKeys(m.solves) {
 		emit("sfcpd_solve_classes_sum{algorithm=%q} %d\n", algo, m.solves[algo].classes)
 	}
+	return string(b)
+}
+
+// renderJobs writes the async job subsystem's counters from a live tally
+// of the job store (the store owns its own counts; the metrics mutex has
+// nothing to guard here).
+func renderJobs(c jobs.Counts) string {
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	emit("# TYPE sfcpd_jobs_submitted_total counter\nsfcpd_jobs_submitted_total %d\n", c.Submitted)
+	emit("# TYPE sfcpd_jobs_finished_total counter\n")
+	emit("sfcpd_jobs_finished_total{state=%q} %d\n", jobs.StateDone, c.Done)
+	emit("sfcpd_jobs_finished_total{state=%q} %d\n", jobs.StateFailed, c.Failed)
+	emit("sfcpd_jobs_finished_total{state=%q} %d\n", jobs.StateCancelled, c.Cancelled)
+	emit("# TYPE sfcpd_jobs_evicted_total counter\nsfcpd_jobs_evicted_total %d\n", c.Evicted)
+	emit("# TYPE sfcpd_jobs_queued gauge\nsfcpd_jobs_queued %d\n", c.Queued)
+	emit("# TYPE sfcpd_jobs_running gauge\nsfcpd_jobs_running %d\n", c.Running)
 	return string(b)
 }
 

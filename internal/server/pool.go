@@ -26,7 +26,7 @@ type pool struct {
 
 type poolTask struct {
 	ctx  context.Context
-	run  func() (sfcp.Result, error)
+	run  func(ctx context.Context) (sfcp.Result, error)
 	resC chan poolResult // buffered: workers never block on delivery
 }
 
@@ -67,7 +67,10 @@ func (p *pool) worker(q chan *poolTask) {
 				t.resC <- poolResult{err: err}
 				continue
 			}
-			res, err := t.run()
+			// The submitter's context rides into the solve so an abandoned
+			// or cancelled request stops burning the worker at the solver's
+			// next cooperative check, not minutes later.
+			res, err := t.run(t.ctx)
 			t.resC <- poolResult{res: res, err: err}
 		}
 	}
@@ -75,8 +78,9 @@ func (p *pool) worker(q chan *poolTask) {
 
 // submit enqueues run on the algorithm's queue and waits for its result.
 // It respects ctx both while queued and while waiting: an abandoned waiter
-// does not block the worker (the result channel is buffered).
-func (p *pool) submit(ctx context.Context, algo sfcp.Algorithm, run func() (sfcp.Result, error)) (sfcp.Result, error) {
+// does not block the worker (the result channel is buffered), and the
+// worker hands ctx to run for cooperative mid-solve cancellation.
+func (p *pool) submit(ctx context.Context, algo sfcp.Algorithm, run func(ctx context.Context) (sfcp.Result, error)) (sfcp.Result, error) {
 	q, ok := p.queues[algo]
 	if !ok {
 		return sfcp.Result{}, fmt.Errorf("server: no queue for algorithm %v", algo)

@@ -36,6 +36,7 @@ import (
 
 	"sfcp"
 	"sfcp/internal/codec"
+	"sfcp/internal/jobs"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -61,6 +62,12 @@ type Config struct {
 	// 64 MiB) — MaxN and MaxBatch only cut in after a body has been
 	// decoded, so this is the limit that actually bounds memory.
 	MaxBodyBytes int64
+	// JobTTL is how long finished async jobs (and their results) are
+	// retained for fetching before eviction (default 10 minutes).
+	JobTTL time.Duration
+	// JobMaxQueued bounds async jobs waiting across all algorithms
+	// (default 1024); Submit beyond it returns 429.
+	JobMaxQueued int
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +142,7 @@ type Server struct {
 	cache   *resultCache
 	metrics *metrics
 	solvers map[sfcp.Algorithm]*sfcp.Solver
+	jobs    *jobs.Manager
 }
 
 // New builds a ready-to-serve Server.
@@ -153,18 +161,37 @@ func New(cfg Config) *Server {
 			Algorithm: algo, Workers: cfg.Workers, Seed: cfg.Seed,
 		})
 	}
+	// Async jobs run through the same solveResult path as synchronous
+	// requests — one dispatcher per pool worker so the job subsystem can
+	// keep every worker busy without overflowing the pool queues.
+	s.jobs = jobs.New(jobs.Config{
+		MaxQueued:               cfg.JobMaxQueued,
+		DispatchersPerAlgorithm: cfg.WorkersPerAlgorithm,
+		TTL:                     cfg.JobTTL,
+	}, func(ctx context.Context, algo sfcp.Algorithm, seed *uint64, ins sfcp.Instance) (sfcp.Result, bool, error) {
+		res, cached, _, err := s.solveResult(ctx, algo, seed, ins)
+		return res, cached, err
+	})
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	return s
 }
 
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the worker pool. In-flight requests finish; queued ones fail.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the job manager (cancelling running jobs) and then the
+// worker pool. In-flight requests finish; queued ones fail.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.pool.close()
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("healthz")
@@ -176,6 +203,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("metrics")
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.render())
+	fmt.Fprint(w, renderJobs(s.jobs.Counts()))
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -245,18 +273,7 @@ func (s *Server) handleSolveBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	dec, body := s.binaryDecoder(w, r)
 	defer func() { s.metrics.ingest("binary", body.n) }()
-	ins, err := decodeBinaryInstance(dec)
-	if err == nil {
-		// A single-instance route must consume the whole body, mirroring
-		// the JSON path's trailing-data rejection. More is a one-byte
-		// probe: no second instance gets decoded just to be thrown away.
-		switch more, probeErr := dec.More(); {
-		case probeErr != nil:
-			err = probeErr
-		case more:
-			err = errors.New("invalid binary body: trailing data after instance")
-		}
-	}
+	ins, err := decodeSingleBinary(dec)
 	if err != nil {
 		s.fail(w, "solve", decodeStatus(err), err.Error())
 		return
@@ -264,10 +281,35 @@ func (s *Server) handleSolveBinary(w http.ResponseWriter, r *http.Request) {
 	s.writeSolveResult(w, "solve", s.solveInstance(r.Context(), algo, seed, ins))
 }
 
+// decodeSingleBinary reads the one instance a single-instance route's body
+// must hold, rejecting anything after it — mirroring the JSON path's
+// trailing-data rejection. More is a one-byte probe: no second instance
+// gets decoded just to be thrown away.
+func decodeSingleBinary(dec *codec.Reader) (sfcp.Instance, error) {
+	ins, err := decodeBinaryInstance(dec)
+	if err != nil {
+		return sfcp.Instance{}, err
+	}
+	switch more, probeErr := dec.More(); {
+	case probeErr != nil:
+		return sfcp.Instance{}, probeErr
+	case more:
+		return sfcp.Instance{}, errors.New("invalid binary body: trailing data after instance")
+	}
+	return ins, nil
+}
+
 // handleBatchBinary serves POST /solve/batch with a binary body of
 // concatenated wire-format instances: the upload is sharded into members
 // as it streams, each with its own trailer digest for cache keying, and
 // the members are then solved concurrently like a JSON batch.
+//
+// A member that fails only its digest check is positionally recoverable
+// (every framed byte was consumed, so the stream stays aligned — see
+// codec.ErrDigestMismatch): it becomes a per-member error in the response
+// instead of a 400 aborting its valid siblings. Errors that lose framing
+// (truncation, bad varints, bad magic) still abort the whole upload — the
+// remaining byte positions are meaningless.
 func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 	algo, seed, err := binaryParams(r)
 	if err != nil {
@@ -276,9 +318,13 @@ func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	dec, body := s.binaryDecoder(w, r)
 	defer func() { s.metrics.ingest("binary", body.n) }()
-	var instances []sfcp.Instance
+	type member struct {
+		ins    sfcp.Instance
+		decErr error
+	}
+	var members []member
 	for {
-		if len(instances) == s.cfg.MaxBatch {
+		if len(members) == s.cfg.MaxBatch {
 			// A one-byte probe rejects an over-limit upload before the
 			// excess member's arrays get decoded and allocated.
 			more, err := dec.More()
@@ -297,19 +343,26 @@ func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 		if err == io.EOF {
 			break
 		}
+		if errors.Is(err, codec.ErrDigestMismatch) {
+			members = append(members, member{decErr: err})
+			continue
+		}
 		if err != nil {
 			s.fail(w, "batch", decodeStatus(err),
-				fmt.Sprintf("instance %d: %s", len(instances), err))
+				fmt.Sprintf("instance %d: %s", len(members), err))
 			return
 		}
-		instances = append(instances, ins)
+		members = append(members, member{ins: ins})
 	}
-	if len(instances) == 0 {
+	if len(members) == 0 {
 		s.fail(w, "batch", http.StatusBadRequest, "empty batch")
 		return
 	}
-	s.runBatch(w, len(instances), func(i int) SolveResponse {
-		return s.solveInstance(r.Context(), algo, seed, instances[i])
+	s.runBatch(w, len(members), func(i int) SolveResponse {
+		if err := members[i].decErr; err != nil {
+			return SolveResponse{Algorithm: algo.String(), Error: err.Error()}
+		}
+		return s.solveInstance(r.Context(), algo, seed, members[i].ins)
 	})
 }
 
@@ -428,16 +481,36 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo str
 	return s.solveInstance(ctx, algo, req.Seed, sfcp.Instance{F: req.F, B: req.B})
 }
 
-// solveInstance consults the cache under the instance's SHA-256 content
-// address and otherwise schedules the solve on the algorithm's worker
-// queue. Both ingest formats share this keyspace deliberately: the wire
-// format's XXH64 trailer guards integrity but is not collision-resistant,
-// so cache correctness — where a crafted collision would serve one
-// instance another's labels — rests on the cryptographic digest, and a
-// JSON upload of an instance hits the entry its binary twin populated.
-// With caching disabled no digest is computed at all.
+// solveInstance adapts solveResult's outcome to the synchronous API's
+// SolveResponse shape.
 func (s *Server) solveInstance(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) SolveResponse {
 	resp := SolveResponse{Algorithm: algo.String()}
+	res, cached, elapsed, err := s.solveResult(ctx, algo, seedOverride, ins)
+	if err != nil {
+		resp.Error = err.Error()
+		resp.transient = errors.Is(err, errShutdown) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		return resp
+	}
+	resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, cached
+	if !cached {
+		resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	}
+	return resp
+}
+
+// solveResult is the one solve path of the server — synchronous handlers
+// and async job dispatchers both land here. It consults the cache under
+// the instance's SHA-256 content address and otherwise schedules the solve
+// on the algorithm's worker queue, with ctx cancelling both the queue wait
+// and (cooperatively) the solve itself. Both ingest formats share the
+// cache keyspace deliberately: the wire format's XXH64 trailer guards
+// integrity but is not collision-resistant, so cache correctness — where a
+// crafted collision would serve one instance another's labels — rests on
+// the cryptographic digest, and a JSON upload of an instance hits the
+// entry its binary twin populated. With caching disabled no digest is
+// computed at all.
+func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) (sfcp.Result, bool, time.Duration, error) {
 	seed := s.cfg.Seed
 	if seedOverride != nil {
 		seed = *seedOverride
@@ -447,33 +520,27 @@ func (s *Server) solveInstance(ctx context.Context, algo sfcp.Algorithm, seedOve
 		key = fmt.Sprintf("%s/%d/%s", algo, seed, ins.Digest())
 		if res, ok := s.cache.Get(key); ok {
 			s.metrics.cache(true)
-			resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, true
-			return resp
+			return res, true, 0, nil
 		}
 		s.metrics.cache(false)
 	}
 
 	start := time.Now()
-	res, err := s.pool.submit(ctx, algo, func() (sfcp.Result, error) {
+	res, err := s.pool.submit(ctx, algo, func(ctx context.Context) (sfcp.Result, error) {
 		if seed == s.cfg.Seed {
-			return s.solvers[algo].Solve(ins)
+			return s.solvers[algo].SolveContext(ctx, ins)
 		}
-		return sfcp.SolveWith(ins, sfcp.Options{Algorithm: algo, Workers: s.cfg.Workers, Seed: seed})
+		return sfcp.SolveWithContext(ctx, ins, sfcp.Options{Algorithm: algo, Workers: s.cfg.Workers, Seed: seed})
 	})
 	elapsed := time.Since(start)
 	s.metrics.solve(algo.String(), elapsed, res.NumClasses, err)
 	if err != nil {
-		resp.Error = err.Error()
-		resp.transient = errors.Is(err, errShutdown) ||
-			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-		return resp
+		return sfcp.Result{}, false, elapsed, err
 	}
 	if key != "" {
 		s.cache.Put(key, res)
 	}
-	resp.Labels, resp.NumClasses, resp.Stats = res.Labels, res.NumClasses, res.Stats
-	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
-	return resp
+	return res, false, elapsed, nil
 }
 
 func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string) {

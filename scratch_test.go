@@ -1,0 +1,79 @@
+package sfcp_test
+
+import (
+	"sync"
+	"testing"
+
+	"sfcp"
+	"sfcp/internal/workload"
+)
+
+// TestSolveLabelsNeverAliasScratch is the regression guard for the
+// scratch-arena contract: the labels a Solver returns must be freshly
+// allocated, never a view into the pooled coarsest.Scratch — otherwise the
+// next solve that checks the same arena out of the sync.Pool would
+// overwrite a result a previous caller still holds. The test snapshots one
+// solve's labels, then hammers the same solver from many goroutines (so
+// the arena is Put, re-Got and rewritten concurrently) and checks the
+// snapshot never changes. Run under -race this also catches witnessed
+// writes into retained memory.
+func TestSolveLabelsNeverAliasScratch(t *testing.T) {
+	s := sfcp.NewSolver(sfcp.Options{Algorithm: sfcp.AlgorithmNativeParallel, Workers: 2})
+	held := wl(workload.RandomFunction(1, 3000, 4))
+	res, err := s.Solve(held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([]int, len(res.Labels))
+	copy(snapshot, res.Labels)
+
+	// Different sizes and shapes force the reused arena buffers through
+	// regrowth and full rewrites.
+	others := []sfcp.Instance{
+		wl(workload.RandomFunction(2, 5000, 3)),
+		wl(workload.CycleFamily(3, 4, 100, 7)),
+		wl(workload.Broom(4, 2000, 50, 6)),
+		wl(workload.Star(5, 800, 2)),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ins := others[(g+i)%len(others)]
+				if _, err := s.Solve(ins); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i := range snapshot {
+		if res.Labels[i] != snapshot[i] {
+			t.Fatalf("labels[%d] changed from %d to %d after concurrent solves: result aliases the pooled scratch arena",
+				i, snapshot[i], res.Labels[i])
+		}
+	}
+
+	// The same contract holds for batch members.
+	batch := []sfcp.Instance{held, others[0], held}
+	results, err := s.SolveBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make([]int, len(results[0].Labels))
+	copy(kept, results[0].Labels)
+	for i := 0; i < 30; i++ {
+		if _, err := s.Solve(others[i%len(others)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range kept {
+		if results[0].Labels[i] != kept[i] {
+			t.Fatalf("batch labels[%d] mutated by later solves", i)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package sfcp
 
 import (
+	"context"
 	"fmt"
 
 	"sfcp/internal/circ"
@@ -142,20 +143,34 @@ func Solve(f, b []int) ([]int, error) {
 
 // SolveWith computes the coarsest partition with the selected algorithm.
 func SolveWith(ins Instance, opts Options) (Result, error) {
+	return SolveWithContext(context.Background(), ins, opts)
+}
+
+// SolveWithContext is SolveWith with cooperative cancellation. The parallel
+// solvers (native-parallel and the PRAM simulations) poll ctx between
+// refinement rounds / simulated steps and return ctx.Err() promptly; the
+// sequential solvers (moore, hopcroft, linear) check it only on entry and
+// then run to completion.
+func SolveWithContext(ctx context.Context, ins Instance, opts Options) (Result, error) {
 	in := coarsest.Instance{F: ins.F, B: ins.B}
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	return solveValidated(in, opts)
+	return solveValidated(ctx, in, opts)
 }
 
 // solveValidated dispatches on the algorithm; in must already be validated.
-func solveValidated(in coarsest.Instance, opts Options) (Result, error) {
+func solveValidated(ctx context.Context, in coarsest.Instance, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	popts := coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed}
 	var labels []int
 	var stats *Stats
+	var err error
 	switch opts.Algorithm {
 	case AlgorithmAuto, AlgorithmNativeParallel:
-		labels = coarsest.NativeParallel(in, opts.Workers)
+		labels, err = coarsest.NativeParallelCtx(ctx, in, opts.Workers, nil)
 	case AlgorithmMoore:
 		labels = coarsest.Moore(in)
 	case AlgorithmHopcroft:
@@ -163,16 +178,22 @@ func solveValidated(in coarsest.Instance, opts Options) (Result, error) {
 	case AlgorithmLinear:
 		labels = coarsest.LinearSequential(in)
 	case AlgorithmParallelPRAM:
-		res := coarsest.ParallelPRAM(in, coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed})
+		var res coarsest.ParallelResult
+		res, err = coarsest.ParallelPRAMContext(ctx, in, popts)
 		labels, stats = res.Labels, fromPRAM(res.Stats)
 	case AlgorithmDoublingHash:
-		res := coarsest.DoublingHashPRAM(in, coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed})
+		var res coarsest.ParallelResult
+		res, err = coarsest.DoublingHashPRAMContext(ctx, in, popts)
 		labels, stats = res.Labels, fromPRAM(res.Stats)
 	case AlgorithmDoublingSort:
-		res := coarsest.DoublingSortPRAM(in, coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed})
+		var res coarsest.ParallelResult
+		res, err = coarsest.DoublingSortPRAMContext(ctx, in, popts)
 		labels, stats = res.Labels, fromPRAM(res.Stats)
 	default:
 		return Result{}, fmt.Errorf("sfcp: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{Labels: labels, NumClasses: coarsest.NumClasses(labels), Stats: stats}, nil
 }

@@ -1,9 +1,11 @@
 package sfcp
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -49,11 +51,20 @@ func algorithmNames() string {
 // have identical F and B. Lengths are folded in, so (F, B) boundaries are
 // unambiguous.
 func (ins Instance) Digest() string {
+	// The hash state sees exactly the byte stream of the original
+	// one-Write-per-int implementation; batching ~4KiB per h.Write only
+	// amortizes the hasher's per-call overhead, which otherwise dominates
+	// content-addressing 10^8-element instances on the cache hot path.
 	h := sha256.New()
-	var buf [8]byte
+	var buf [4096]byte
+	n := 0
 	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
+		if n == len(buf) {
+			h.Write(buf[:])
+			n = 0
+		}
+		binary.LittleEndian.PutUint64(buf[n:], uint64(v))
+		n += 8
 	}
 	writeInt(len(ins.F))
 	for _, v := range ins.F {
@@ -63,6 +74,7 @@ func (ins Instance) Digest() string {
 	for _, v := range ins.B {
 		writeInt(v)
 	}
+	h.Write(buf[:n])
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -96,24 +108,36 @@ func (s *Solver) Options() Options { return s.opts }
 
 // Solve computes the coarsest partition of one instance.
 func (s *Solver) Solve(ins Instance) (Result, error) {
+	return s.SolveContext(context.Background(), ins)
+}
+
+// SolveContext is Solve with cooperative cancellation: the parallel solvers
+// poll ctx between refinement rounds (native-parallel) or simulated PRAM
+// steps and return ctx.Err() within one round of a cancellation; the
+// sequential solvers check ctx only on entry. A cancelled solve leaves the
+// solver (and its scratch arenas) fully reusable.
+func (s *Solver) SolveContext(ctx context.Context, ins Instance) (Result, error) {
 	in := coarsest.Instance{F: ins.F, B: ins.B}
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	return s.solveValidated(in, s.opts.Workers)
+	return s.solveValidated(ctx, in, s.opts.Workers)
 }
 
-func (s *Solver) solveValidated(in coarsest.Instance, workers int) (Result, error) {
+func (s *Solver) solveValidated(ctx context.Context, in coarsest.Instance, workers int) (Result, error) {
 	switch s.opts.Algorithm {
 	case AlgorithmAuto, AlgorithmNativeParallel:
 		sc := s.scratch.Get().(*coarsest.Scratch)
-		labels := coarsest.NativeParallelScratch(in, workers, sc)
+		labels, err := coarsest.NativeParallelCtx(ctx, in, workers, sc)
 		s.scratch.Put(sc)
+		if err != nil {
+			return Result{}, err
+		}
 		return Result{Labels: labels, NumClasses: coarsest.NumClasses(labels)}, nil
 	default:
 		opts := s.opts
 		opts.Workers = workers
-		return solveValidated(in, opts)
+		return solveValidated(ctx, in, opts)
 	}
 }
 
@@ -135,19 +159,29 @@ func (s *Solver) SolveReader(r io.Reader) (Result, error) {
 // SolveBatch solves every instance with the solver's algorithm, running up
 // to Parallelism members concurrently. The host-worker budget (Workers) is
 // split across concurrent members so a batch never oversubscribes the
-// machine beyond a single wide solve. Results are positional. The first
-// invalid instance aborts the batch with an error naming its index; the
-// returned results slice is nil in that case.
+// machine beyond a single wide solve. Results are positional.
+//
+// An invalid member no longer aborts its siblings: every valid instance is
+// solved, failed positions hold the zero Result, and the returned error
+// joins the per-member failures (each prefixed "instance %d:"), so
+// errors.Is still matches the underlying causes. A nil error means every
+// member solved.
 func (s *Solver) SolveBatch(instances []Instance) ([]Result, error) {
+	return s.SolveBatchContext(context.Background(), instances)
+}
+
+// SolveBatchContext is SolveBatch with cooperative cancellation, applied
+// both while members wait for a concurrency slot and inside each parallel
+// solve (see SolveContext). Members skipped by cancellation report
+// ctx.Err() at their position.
+func (s *Solver) SolveBatchContext(ctx context.Context, instances []Instance) ([]Result, error) {
 	validated := make([]coarsest.Instance, len(instances))
+	errs := make([]error, len(instances))
 	for i, ins := range instances {
 		validated[i] = coarsest.Instance{F: ins.F, B: ins.B}
-		if err := validated[i].Validate(); err != nil {
-			return nil, fmt.Errorf("instance %d: %w", i, err)
-		}
+		errs[i] = validated[i].Validate()
 	}
 	results := make([]Result, len(instances))
-	errs := make([]error, len(instances))
 
 	// Split the worker budget over the members that can run at once.
 	inflight := cap(s.sem)
@@ -164,21 +198,29 @@ func (s *Solver) SolveBatch(instances []Instance) ([]Result, error) {
 
 	var wg sync.WaitGroup
 	for i := range instances {
-		s.sem <- struct{}{}
+		if errs[i] != nil {
+			continue
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer func() {
 				<-s.sem
 				wg.Done()
 			}()
-			results[i], errs[i] = s.solveValidated(validated[i], perMember)
+			results[i], errs[i] = s.solveValidated(ctx, validated[i], perMember)
 		}(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("instance %d: %w", i, err)
+			errs[i] = fmt.Errorf("instance %d: %w", i, err)
 		}
 	}
-	return results, nil
+	return results, errors.Join(errs...)
 }

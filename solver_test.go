@@ -1,8 +1,14 @@
 package sfcp_test
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"sfcp"
 	"sfcp/internal/workload"
@@ -75,13 +81,84 @@ func TestSolveBatchEmptyAndInvalid(t *testing.T) {
 	bad := []sfcp.Instance{
 		wl(workload.Star(1, 10, 2)),
 		{F: []int{5}, B: []int{0}}, // F out of range
+		wl(workload.Star(2, 8, 2)),
 	}
-	_, err := s.SolveBatch(bad)
+	res, err := s.SolveBatch(bad)
 	if err == nil {
 		t.Fatal("invalid member accepted")
 	}
 	if !strings.Contains(err.Error(), "instance 1") {
 		t.Errorf("error %q does not name the offending index", err)
+	}
+	if strings.Contains(err.Error(), "instance 0") || strings.Contains(err.Error(), "instance 2") {
+		t.Errorf("error %q blames valid members", err)
+	}
+	// Valid siblings are solved despite the invalid member.
+	if len(res) != len(bad) {
+		t.Fatalf("got %d results, want %d", len(res), len(bad))
+	}
+	for _, i := range []int{0, 2} {
+		want, werr := s.Solve(bad[i])
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if !sfcp.SamePartition(res[i].Labels, want.Labels) {
+			t.Errorf("member %d not solved alongside invalid sibling", i)
+		}
+	}
+	if res[1].Labels != nil || res[1].NumClasses != 0 {
+		t.Errorf("invalid member carries a non-zero result: %+v", res[1])
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	big := wl(workload.RandomFunction(7, 5000, 3))
+	for _, algo := range []sfcp.Algorithm{
+		sfcp.AlgorithmNativeParallel, sfcp.AlgorithmParallelPRAM,
+		sfcp.AlgorithmDoublingHash, sfcp.AlgorithmDoublingSort,
+		sfcp.AlgorithmMoore, // sequential: entry check only
+	} {
+		s := sfcp.NewSolver(sfcp.Options{Algorithm: algo})
+		if _, err := s.SolveContext(cancelled, big); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: cancelled solve returned %v, want context.Canceled", algo, err)
+		}
+		// The same solver still works with a live context afterwards.
+		res, err := s.SolveContext(context.Background(), big)
+		if err != nil {
+			t.Fatalf("%v after cancel: %v", algo, err)
+		}
+		want, err := sfcp.SolveWith(big, sfcp.Options{Algorithm: sfcp.AlgorithmLinear})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sfcp.SamePartition(res.Labels, want.Labels) {
+			t.Errorf("%v after cancel: wrong partition", algo)
+		}
+	}
+}
+
+// TestSolveContextCancelMidSolve cancels while a parallel-pram solve is in
+// flight and checks the step loop aborts with the context error.
+func TestSolveContextCancelMidSolve(t *testing.T) {
+	s := sfcp.NewSolver(sfcp.Options{Algorithm: sfcp.AlgorithmParallelPRAM})
+	ins := wl(workload.RandomFunction(11, 60_000, 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SolveContext(ctx, ins)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the simulation start stepping
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-solve cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled solve did not return")
 	}
 }
 
@@ -118,5 +195,45 @@ func TestInstanceDigest(t *testing.T) {
 	}
 	if (sfcp.Instance{F: []int{0}, B: []int{5}}).Digest() == a.Digest() {
 		t.Error("different instances share a digest")
+	}
+}
+
+// TestInstanceDigestGolden pins the digest byte stream: the buffered
+// implementation must stay byte-identical to the original
+// one-h.Write-per-int encoding (lengths and values as little-endian
+// uint64), or every deployed cache keyed on it silently empties.
+func TestInstanceDigestGolden(t *testing.T) {
+	ins := sfcp.Instance{F: []int{1, 2, 0, 2}, B: []int{0, 1, 0, 1}}
+	const want = "6587ecba422fc5924216859f13eb7d5a404c392da192079cec1cf1c7712520f1"
+	if got := ins.Digest(); got != want {
+		t.Fatalf("golden digest changed:\n got %s\nwant %s", got, want)
+	}
+
+	// Cross-check against an in-test reference of the original encoding on
+	// sizes that straddle the internal buffer boundary (4096 bytes = 512
+	// ints), including the exact-fill and fill+1 cases.
+	ref := func(ins sfcp.Instance) string {
+		h := sha256.New()
+		var buf [8]byte
+		writeInt := func(v int) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		writeInt(len(ins.F))
+		for _, v := range ins.F {
+			writeInt(v)
+		}
+		writeInt(len(ins.B))
+		for _, v := range ins.B {
+			writeInt(v)
+		}
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	for _, n := range []int{0, 1, 255, 256, 511, 512, 513, 1024, 3000} {
+		w := workload.RandomFunction(int64(n), n+1, 3)
+		ins := sfcp.Instance{F: w.F[:n], B: w.B[:n]}
+		if got, want := ins.Digest(), ref(ins); got != want {
+			t.Errorf("n=%d: digest %s, reference %s", n, got, want)
+		}
 	}
 }

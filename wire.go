@@ -34,6 +34,21 @@ func DecodeBinary(r io.Reader) (Instance, error) {
 // starts an sfcp binary stream rather than the whitespace text format.
 func DetectBinary(prefix []byte) bool { return codec.Detect(prefix) }
 
+// EncodeLabelsBinary writes a solve result's dense Q-labels to w as a
+// labels-only wire stream: the same chunked, digest-trailed framing as an
+// instance, with a flags bit marking the single-array payload. It is the
+// format sfcpd's GET /jobs/{id}/result serves under application/x-sfcp.
+func EncodeLabelsBinary(w io.Writer, labels []int) error {
+	return codec.EncodeLabels(w, labels)
+}
+
+// DecodeLabelsBinary reads one labels-only wire stream from r. Instance
+// streams are rejected (the flags byte distinguishes the two kinds); a
+// clean end of stream returns io.EOF.
+func DecodeLabelsBinary(r io.Reader) ([]int, error) {
+	return codec.DecodeLabels(r)
+}
+
 // BinaryDecoder streams instances out of a binary wire-format stream. Its
 // chunked reads buffer ahead, so it — not repeated DecodeBinary calls on
 // the same reader — is the way to drain concatenated instances:
