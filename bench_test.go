@@ -22,6 +22,29 @@ import (
 
 const benchSeed = 1993
 
+// BenchmarkPlannerAuto measures what the adaptive planner buys on
+// below-crossover instances: AlgorithmAuto (resolved to the sequential
+// linear solver) against the seed behavior of always running
+// native-parallel. Regenerate the full sweep with `sfcpbench -exp A4`.
+func BenchmarkPlannerAuto(b *testing.B) {
+	wl := workload.RandomFunction(benchSeed, 1<<12, 3)
+	ins := Instance{F: wl.F, B: wl.B}
+	b.Run("auto-small", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveWith(ins, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seed-native-parallel-small", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveWith(ins, Options{Algorithm: AlgorithmNativeParallel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func reportPRAM(b *testing.B, stats pram.Stats, n int) {
 	b.ReportMetric(float64(stats.Rounds), "rounds")
 	b.ReportMetric(float64(stats.Work), "work")

@@ -159,8 +159,12 @@ func runClient(c *jobClient, ins sfcp.Instance, doWait bool, out, errOut io.Writ
 		return err
 	}
 	writeLabels(out, labels)
-	fmt.Fprintf(errOut, "n=%d classes=%d algo=%s solve=%.3fms wall=%v cached=%v job=%s\n",
-		snap.N, snap.NumClasses, snap.Algorithm, snap.ElapsedMS,
+	ran := snap.Algorithm
+	if snap.ResolvedAlgorithm != "" {
+		ran = snap.ResolvedAlgorithm
+	}
+	fmt.Fprintf(errOut, "n=%d classes=%d algo=%s ran=%s solve=%.3fms wall=%v cached=%v job=%s\n",
+		snap.N, snap.NumClasses, snap.Algorithm, ran, snap.ElapsedMS,
 		time.Since(start).Round(time.Microsecond), snap.Cached, snap.ID)
 	if snap.Stats != nil {
 		fmt.Fprintf(errOut, "rounds=%d work=%d maxprocs=%d reads=%d writes=%d cells=%d\n",

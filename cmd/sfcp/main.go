@@ -20,8 +20,13 @@
 // Usage:
 //
 //	sfcp [-algo auto|moore|hopcroft|linear|parallel-pram|native-parallel|doubling-hash|doubling-sort]
-//	     [-in file] [-stats] [-workers n] [-seed s]
+//	     [-in file] [-stats] [-explain] [-workers n] [-seed s]
 //	     [-submit -server http://host:8080 [-wait] [-poll 250ms] [-priority p]]
+//
+// The default -algo auto defers to the adaptive planner, which picks the
+// sequential linear-time solver or the goroutine-parallel one per
+// instance; the summary's ran= field reports the resolved choice and
+// -explain prints the full plan (reason, probe features, stage timings).
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	algoName := flag.String("algo", "auto", "solver algorithm")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	stats := flag.Bool("stats", false, "print PRAM complexity counters to stderr")
+	explain := flag.Bool("explain", false, "print the resolved execution plan (algorithm, workers, reason, probe, stage timings) to stderr")
 	workers := flag.Int("workers", 0, "host goroutines for the parallel solvers (0 = NumCPU)")
 	seed := flag.Uint64("seed", 0, "simulator seed for the PRAM algorithms")
 	server := flag.String("server", "", "sfcpd base URL for -submit (e.g. http://localhost:8080)")
@@ -109,8 +115,15 @@ func main() {
 
 	writeLabels(os.Stdout, res.Labels)
 
-	fmt.Fprintf(os.Stderr, "n=%d classes=%d algo=%s wall=%v\n",
-		len(res.Labels), res.NumClasses, algo, elapsed.Round(time.Microsecond))
+	ran := algo.String()
+	if res.Plan != nil {
+		ran = res.Plan.Algorithm.String()
+	}
+	fmt.Fprintf(os.Stderr, "n=%d classes=%d algo=%s ran=%s wall=%v\n",
+		len(res.Labels), res.NumClasses, algo, ran, elapsed.Round(time.Microsecond))
+	if *explain && res.Plan != nil {
+		explainPlan(os.Stderr, algo, res)
+	}
 	if *stats {
 		if res.Stats != nil {
 			fmt.Fprintf(os.Stderr, "rounds=%d work=%d maxprocs=%d reads=%d writes=%d cells=%d\n",
@@ -120,6 +133,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sfcp: -stats: algorithm %s reports no simulator stats (use parallel-pram, doubling-hash or doubling-sort)\n", algo)
 		}
 	}
+}
+
+// explainPlan prints the resolved execution plan: what the planner chose,
+// why, what the probe saw, and where the time went.
+func explainPlan(out io.Writer, requested sfcp.Algorithm, res sfcp.Result) {
+	p := res.Plan
+	fmt.Fprintf(out, "plan: requested=%s resolved=%s workers=%d\n", requested, p.Algorithm, p.Workers)
+	fmt.Fprintf(out, "reason: %s\n", p.Reason)
+	if p.Features.Probed {
+		fmt.Fprintf(out, "probe: n=%d sampled_labels=%d short_cycle_frac=%.2f\n",
+			p.Features.N, p.Features.SampledLabels, p.Features.ShortCycleFrac)
+	}
+	fmt.Fprintf(out, "timings: plan=%v solve=%v\n",
+		res.Timings.Plan.Round(time.Microsecond), res.Timings.Solve.Round(time.Microsecond))
 }
 
 // writeLabels prints the dense Q-labels as one space-separated line.

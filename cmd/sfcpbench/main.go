@@ -6,25 +6,67 @@
 //	sfcpbench -all             # everything
 //	sfcpbench -all -quick      # smaller sweeps
 //	sfcpbench -list            # show available experiments
+//	sfcpbench -exp A4 -out BENCH_planner.json   # machine-readable crossover data
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sfcp/internal/bench"
 )
 
+// errTrackWriter remembers the first write failure. The experiments write
+// through fmt/tabwriter/json, which all discard errors — without this, a
+// full disk would leave a truncated BENCH_*.json and still exit 0.
+type errTrackWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errTrackWriter) Write(p []byte) (int, error) {
+	n, err := e.w.Write(p)
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	return n, err
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A3)")
+	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A4)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	list := flag.Bool("list", false, "list experiments")
 	seed := flag.Int64("seed", 1993, "workload seed")
+	outPath := flag.String("out", "", "write results to this file instead of stdout (e.g. BENCH_planner.json for -exp A4)")
 	flag.Parse()
 
-	cfg := bench.Config{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	out := &errTrackWriter{w: os.Stdout}
+	var sink *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfcpbench:", err)
+			os.Exit(1)
+		}
+		sink = f
+		out.w = f
+	}
+	finish := func() {
+		err := out.err
+		if sink != nil {
+			if cerr := sink.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfcpbench: writing results:", err)
+			os.Exit(1)
+		}
+	}
+	cfg := bench.Config{Out: out, Quick: *quick, Seed: *seed}
 	switch {
 	case *list:
 		for _, e := range bench.All() {
@@ -43,4 +85,5 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finish()
 }

@@ -1,6 +1,8 @@
 // Command sfcpd serves single function coarsest partition solving over
-// HTTP. Instances are scheduled onto bounded per-algorithm worker pools
-// and results are cached by instance digest.
+// HTTP. Each request's algorithm is resolved by the adaptive planner
+// ("auto" picks a concrete solver per instance); instances are scheduled
+// onto bounded per-algorithm worker pools and results are cached by
+// (resolved algorithm, seed, instance digest).
 //
 // Endpoints:
 //

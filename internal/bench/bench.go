@@ -5,6 +5,8 @@
 package bench
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +18,7 @@ import (
 
 	"sfcp/internal/circ"
 	"sfcp/internal/coarsest"
+	"sfcp/internal/engine"
 	"sfcp/internal/intsort"
 	"sfcp/internal/listrank"
 	"sfcp/internal/partition"
@@ -57,6 +60,7 @@ func All() []Experiment {
 		{"A1", "Ablation: integer sorting strategies", A1IntSort},
 		{"A2", "Ablation: list ranking methods", A2ListRank},
 		{"A3", "Ablation: m.s.p. recursion cutoff", A3Cutoff},
+		{"A4", "Planner crossover: auto vs forced algorithms (JSON)", A4PlannerCrossover},
 	}
 }
 
@@ -611,6 +615,86 @@ func A3Cutoff(cfg Config) {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t\n", co.name, m.Stats().Work, m.Stats().Rounds, got == want)
 	}
 	w.Flush()
+}
+
+// A4PlannerCrossover measures the adaptive planner against every forced
+// algorithm at sizes straddling engine.MinParallelN, on the tree-heavy and
+// cycle-heavy families. Unlike the other experiments it emits one JSON
+// document — machine-readable rows suitable for BENCH_*.json trajectory
+// tracking — so regressions of the planner's crossover show up as data,
+// not prose.
+func A4PlannerCrossover(cfg Config) {
+	type row struct {
+		Family       string           `json:"family"`
+		N            int              `json:"n"`
+		AutoResolved string           `json:"auto_resolved"`
+		AutoWorkers  int              `json:"auto_workers"`
+		AutoNS       int64            `json:"auto_ns"`
+		ForcedNS     map[string]int64 `json:"forced_ns"`
+	}
+	doc := struct {
+		Experiment    string `json:"experiment"`
+		Title         string `json:"title"`
+		GOMAXPROCS    int    `json:"gomaxprocs"`
+		MinParallelN  int    `json:"planner_min_parallel_n"`
+		RepsPerSample int    `json:"reps_per_sample"`
+		Rows          []row  `json:"rows"`
+	}{
+		Experiment:    "A4",
+		Title:         "planner crossover: auto vs forced algorithms",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		MinParallelN:  engine.MinParallelN,
+		RepsPerSample: 3,
+	}
+	forced := []engine.Algorithm{engine.Linear, engine.Hopcroft, engine.NativeParallel}
+	ns := sizes(cfg,
+		[]int{engine.MinParallelN / 4, engine.MinParallelN / 2, engine.MinParallelN, 2 * engine.MinParallelN, 4 * engine.MinParallelN},
+		[]int{engine.MinParallelN / 2, engine.MinParallelN, 2 * engine.MinParallelN})
+	best := func(req engine.Request, in coarsest.Instance) (engine.Outcome, int64) {
+		var out engine.Outcome
+		bestNS := int64(1) << 62
+		for r := 0; r < doc.RepsPerSample; r++ {
+			o, err := engine.Run(context.Background(), in, req, nil)
+			if err != nil {
+				return engine.Outcome{}, -1
+			}
+			if ns := int64(o.Timings.Solve); ns < bestNS {
+				bestNS, out = ns, o
+			}
+		}
+		return out, bestNS
+	}
+	for _, fam := range []string{"random-function", "permutation"} {
+		for _, n := range ns {
+			var wl workload.Instance
+			if fam == "random-function" {
+				wl = workload.RandomFunction(cfg.Seed, n, 3)
+			} else {
+				wl = workload.RandomPermutation(cfg.Seed, n, 3)
+			}
+			in := coarsest.Instance{F: wl.F, B: wl.B}
+			auto, autoNS := best(engine.Request{Algorithm: engine.Auto}, in)
+			r := row{
+				Family:       fam,
+				N:            n,
+				AutoResolved: auto.Plan.Algorithm.String(),
+				AutoWorkers:  auto.Plan.Workers,
+				AutoNS:       autoNS,
+				ForcedNS:     map[string]int64{},
+			}
+			for _, algo := range forced {
+				out, forcedNS := best(engine.Request{Algorithm: algo}, in)
+				if forcedNS < 0 || !coarsest.SamePartition(out.Labels, auto.Labels) {
+					forcedNS = -1 // solver error or disagreement: poison the row visibly
+				}
+				r.ForcedNS[algo.String()] = forcedNS
+			}
+			doc.Rows = append(doc.Rows, r)
+		}
+	}
+	enc := json.NewEncoder(cfg.Out)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,159 @@
+// Package engine is the unified execution layer of the library: the one
+// place an Algorithm is chosen and the one place it is invoked.
+//
+// Every solve entry point — Solve/SolveWith/SolveWithContext, the reusable
+// Solver and its batches, sfcpd's synchronous handlers and async job
+// dispatchers, and the sfcp CLI — routes through Run, which
+//
+//  1. computes cheap instance features (size, a sampled initial-label
+//     count, a sampled cycle/tree structure probe),
+//  2. resolves the request to an explainable Plan{Algorithm, Workers,
+//     Reason} — Auto picks the sequential linear-time solver below a
+//     benchmark-calibrated crossover and the goroutine-parallel solver
+//     above it, with the worker count scaled to the instance instead of
+//     always GOMAXPROCS — and
+//  3. executes the plan through the single dispatch table mapping each
+//     Algorithm to its internal/coarsest entry point.
+//
+// Plans are deterministic: identical instances with identical requests
+// yield identical plans (the probe samples by fixed stride, never by RNG).
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"sfcp/internal/coarsest"
+	"sfcp/internal/pram"
+)
+
+// Algorithm selects a solver. The zero value Auto defers the choice to the
+// planner, which resolves it per instance.
+type Algorithm uint8
+
+// The solver catalogue, in canonical presentation order.
+const (
+	// Auto lets the planner pick per instance: the sequential linear-time
+	// solver below the calibrated crossover, NativeParallel above it.
+	Auto Algorithm = iota
+	// Moore is naive iterative refinement (O(n^2) worst case).
+	Moore
+	// Hopcroft is partition refinement, O(n log n).
+	Hopcroft
+	// Linear is the sequential linear-time cycle/tree solution.
+	Linear
+	// ParallelPRAM is the paper's algorithm on the instrumented CRCW PRAM
+	// simulator (Theorem 5.1).
+	ParallelPRAM
+	// NativeParallel runs goroutines on real cores.
+	NativeParallel
+	// DoublingHash is the O(n log n)-work parallel baseline on the simulator.
+	DoublingHash
+	// DoublingSort is the O(n log^2 n)-work parallel baseline on the
+	// simulator.
+	DoublingSort
+)
+
+// Algorithms lists every solver in declaration order — the canonical
+// enumeration for CLIs, servers and tests.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		Auto, Moore, Hopcroft, Linear,
+		ParallelPRAM, NativeParallel, DoublingHash, DoublingSort,
+	}
+}
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Moore:
+		return "moore"
+	case Hopcroft:
+		return "hopcroft"
+	case Linear:
+		return "linear"
+	case ParallelPRAM:
+		return "parallel-pram"
+	case NativeParallel:
+		return "native-parallel"
+	case DoublingHash:
+		return "doubling-hash"
+	case DoublingSort:
+		return "doubling-sort"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// MarshalText encodes the algorithm as its name, so JSON bodies carry
+// "linear" rather than an opaque enum ordinal.
+func (a Algorithm) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses an algorithm name (the inverse of MarshalText).
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	for _, cand := range Algorithms() {
+		if cand.String() == string(text) {
+			*a = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown algorithm %q", text)
+}
+
+// entry executes one concrete algorithm on a validated instance. The
+// dispatch table below is the only mapping from Algorithm values to
+// internal/coarsest entry points in the codebase — adding a solver means
+// adding one constant and one row here.
+type entry func(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, sc *coarsest.Scratch) ([]int, *pram.Stats, error)
+
+var dispatch = map[Algorithm]entry{
+	Moore: func(_ context.Context, in coarsest.Instance, _ Plan, _ uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		return coarsest.Moore(in), nil, nil
+	},
+	Hopcroft: func(_ context.Context, in coarsest.Instance, _ Plan, _ uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		return coarsest.Hopcroft(in), nil, nil
+	},
+	Linear: func(_ context.Context, in coarsest.Instance, _ Plan, _ uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		return coarsest.LinearSequential(in), nil, nil
+	},
+	NativeParallel: func(ctx context.Context, in coarsest.Instance, plan Plan, _ uint64, sc *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		labels, err := coarsest.NativeParallelCtx(ctx, in, plan.Workers, sc)
+		return labels, nil, err
+	},
+	ParallelPRAM: func(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		res, err := coarsest.ParallelPRAMContext(ctx, in, coarsest.ParallelOptions{Workers: plan.Workers, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Labels, &res.Stats, nil
+	},
+	DoublingHash: func(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		res, err := coarsest.DoublingHashPRAMContext(ctx, in, coarsest.ParallelOptions{Workers: plan.Workers, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Labels, &res.Stats, nil
+	},
+	DoublingSort: func(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		res, err := coarsest.DoublingSortPRAMContext(ctx, in, coarsest.ParallelOptions{Workers: plan.Workers, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Labels, &res.Stats, nil
+	},
+}
+
+// Execute runs a resolved plan on a validated instance. plan.Algorithm must
+// be concrete (MakePlan never returns Auto); sc may be nil — only the
+// native-parallel solver uses it, the rest ignore it.
+func Execute(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, sc *coarsest.Scratch) ([]int, *pram.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	run, ok := dispatch[plan.Algorithm]
+	if !ok {
+		return nil, nil, fmt.Errorf("sfcp: no solver for algorithm %v", plan.Algorithm)
+	}
+	return run(ctx, in, plan, seed, sc)
+}

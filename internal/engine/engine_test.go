@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sfcp/internal/coarsest"
+	"sfcp/internal/workload"
+)
+
+// families builds one instance of every internal/workload coarsest-
+// partition family at (roughly) n elements.
+func families(seed int64, n int) map[string]coarsest.Instance {
+	k := n / 16
+	if k < 1 {
+		k = 1
+	}
+	wl := map[string]workload.Instance{
+		"random-function": workload.RandomFunction(seed, n, 3),
+		"permutation":     workload.RandomPermutation(seed, n, 3),
+		"cycle-family":    workload.CycleFamily(seed, k, 16, 4),
+		"distinct-cycles": workload.DistinctCycles(seed, k, 16, 3),
+		"broom":           workload.Broom(seed, n, 16, 8),
+		"star":            workload.Star(seed, n, 3),
+		"unary-dfa":       workload.UnaryDFA(seed, n, 300),
+	}
+	out := make(map[string]coarsest.Instance, len(wl))
+	for name, ins := range wl {
+		out[name] = coarsest.Instance{F: ins.F, B: ins.B}
+	}
+	return out
+}
+
+// TestPlannerAgreesWithLinear is the differential gate on the planner:
+// whatever Auto resolves to — on either side of the crossover, with a
+// budget that forces the sequential branch and one that allows the
+// parallel branch — the labels must equal the linear reference exactly
+// (all solvers normalize by first occurrence, so equality is slice-wise).
+func TestPlannerAgreesWithLinear(t *testing.T) {
+	for _, n := range []int{MinParallelN / 2, MinParallelN} {
+		for name, in := range families(1993, n) {
+			want := coarsest.LinearSequential(in)
+			for _, workers := range []int{1, 16} {
+				out, err := Run(context.Background(), in, Request{Algorithm: Auto, Workers: workers}, nil)
+				if err != nil {
+					t.Fatalf("n=%d %s workers=%d: %v", n, name, workers, err)
+				}
+				if !reflect.DeepEqual(out.Labels, want) {
+					t.Errorf("n=%d %s workers=%d: auto (resolved %s) disagrees with linear",
+						n, name, workers, out.Plan.Algorithm)
+				}
+				if out.Plan.Algorithm == Auto {
+					t.Errorf("n=%d %s: plan not resolved past Auto", n, name)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDeterminism: identical instances and requests always yield
+// identical plans — reason string, features and all.
+func TestPlanDeterminism(t *testing.T) {
+	for name, in := range families(7, MinParallelN/2) {
+		for _, req := range []Request{
+			{Algorithm: Auto},
+			{Algorithm: Auto, Workers: 16},
+			{Algorithm: NativeParallel},
+			{Algorithm: Linear},
+		} {
+			first, err := MakePlan(in, req)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, req, err)
+			}
+			for i := 0; i < 3; i++ {
+				again, err := MakePlan(in, req)
+				if err != nil {
+					t.Fatalf("%s %+v: %v", name, req, err)
+				}
+				if !reflect.DeepEqual(first, again) {
+					t.Fatalf("%s %+v: plan not deterministic:\n%+v\n%+v", name, req, first, again)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossoverRules pins the planner's decision table: linear below the
+// crossover or under a starved budget, native-parallel (with size-scaled
+// workers) above it with budget to spare.
+func TestCrossoverRules(t *testing.T) {
+	small := families(3, MinParallelN/2)["random-function"]
+	big := families(3, 4*MinParallelN)["random-function"]
+
+	cases := []struct {
+		name        string
+		in          coarsest.Instance
+		workers     int
+		wantAlgo    Algorithm
+		wantWorkers int
+	}{
+		{"below crossover, wide budget", small, 64, Linear, 1},
+		{"above crossover, single core", big, 1, Linear, 1},
+		{"above crossover, wide budget", big, 64, NativeParallel, 4 * MinParallelN / workerGrain},
+	}
+	for _, tc := range cases {
+		plan, err := MakePlan(tc.in, Request{Algorithm: Auto, Workers: tc.workers})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if plan.Algorithm != tc.wantAlgo || plan.Workers != tc.wantWorkers {
+			t.Errorf("%s: plan = %s/%d workers, want %s/%d (reason %q)",
+				tc.name, plan.Algorithm, plan.Workers, tc.wantAlgo, tc.wantWorkers, plan.Reason)
+		}
+		if plan.Reason == "" || !plan.Features.Probed {
+			t.Errorf("%s: auto plan missing reason or probe: %+v", tc.name, plan)
+		}
+	}
+}
+
+// TestExplicitPlans: explicit algorithm requests are honored verbatim; an
+// explicit worker count on native-parallel is an instruction, while an
+// unstated one is scaled to the instance.
+func TestExplicitPlans(t *testing.T) {
+	in := families(5, 4*MinParallelN)["random-function"]
+	for _, algo := range []Algorithm{Moore, Hopcroft, Linear, ParallelPRAM, NativeParallel, DoublingHash, DoublingSort} {
+		plan, err := MakePlan(in, Request{Algorithm: algo, Workers: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if plan.Algorithm != algo {
+			t.Errorf("explicit %v request resolved to %v", algo, plan.Algorithm)
+		}
+		if plan.Features.Probed {
+			t.Errorf("%v: explicit request ran the probe", algo)
+		}
+	}
+	explicit, _ := MakePlan(in, Request{Algorithm: NativeParallel, Workers: 64})
+	if explicit.Workers != 64 {
+		t.Errorf("explicit worker count overridden: %d", explicit.Workers)
+	}
+	scaled, _ := MakePlan(in, Request{Algorithm: NativeParallel})
+	if want := scaleWorkers(len(in.F), 1<<30); scaled.Workers > want {
+		t.Errorf("unstated worker budget not size-scaled: %d > %d", scaled.Workers, want)
+	}
+}
+
+// TestProbeFeatures sanity-checks the structure probe on instances whose
+// shape is known by construction.
+func TestProbeFeatures(t *testing.T) {
+	n := 1 << 12
+	shortCycles := workload.CycleFamily(11, n/16, 16, 4)
+	ft := Probe(coarsest.Instance{F: shortCycles.F, B: shortCycles.B})
+	if ft.ShortCycleFrac != 1.0 {
+		t.Errorf("16-cycles family: ShortCycleFrac = %v, want 1.0", ft.ShortCycleFrac)
+	}
+	star := workload.Star(11, n, 3)
+	if ft := Probe(coarsest.Instance{F: star.F, B: star.B}); ft.ShortCycleFrac != 1.0 {
+		t.Errorf("star: ShortCycleFrac = %v, want 1.0 (every walk hits the self-loop)", ft.ShortCycleFrac)
+	}
+	perm := workload.RandomPermutation(11, n, 3)
+	if ft := Probe(coarsest.Instance{F: perm.F, B: perm.B}); ft.ShortCycleFrac > 0.25 {
+		t.Errorf("random permutation: ShortCycleFrac = %v, want near 0 (cycles are long)", ft.ShortCycleFrac)
+	}
+	if ft := Probe(coarsest.Instance{}); ft.N != 0 || !ft.Probed {
+		t.Errorf("empty instance probe = %+v", ft)
+	}
+	uniform := coarsest.Instance{F: []int{1, 2, 0}, B: []int{5, 5, 5}}
+	if ft := Probe(uniform); ft.SampledLabels != 1 {
+		t.Errorf("uniform labels: SampledLabels = %d, want 1", ft.SampledLabels)
+	}
+}
+
+// TestUnknownAlgorithm: planning and execution both reject values outside
+// the dispatch table.
+func TestUnknownAlgorithm(t *testing.T) {
+	in := coarsest.Instance{F: []int{0}, B: []int{0}}
+	if _, err := MakePlan(in, Request{Algorithm: Algorithm(99)}); err == nil {
+		t.Error("MakePlan accepted Algorithm(99)")
+	}
+	if _, _, err := Execute(context.Background(), in, Plan{Algorithm: Auto}, 0, nil); err == nil {
+		t.Error("Execute accepted an unresolved Auto plan")
+	}
+}
+
+// TestAlgorithmTextRoundTrip covers the JSON-facing text codec.
+func TestAlgorithmTextRoundTrip(t *testing.T) {
+	for _, a := range Algorithms() {
+		text, err := a.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Algorithm
+		if err := back.UnmarshalText(text); err != nil || back != a {
+			t.Errorf("round trip %v -> %s -> %v (%v)", a, text, back, err)
+		}
+	}
+	var a Algorithm
+	if err := a.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("UnmarshalText accepted an unknown name")
+	}
+}

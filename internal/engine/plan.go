@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"sfcp/internal/coarsest"
+	"sfcp/internal/par"
+	"sfcp/internal/pram"
+)
+
+// Planner calibration. The crossover model comes from measuring
+// LinearSequential against NativeParallel on random-function and
+// permutation workloads (regenerate with `sfcpbench -exp A4`): on one core
+// the parallel solver is 1.9–2.1x slower at n=2^10 and 5–7.6x slower at
+// n=2^20 — its pointer-doubling structure discovery does ~log2(n)
+// near-linear passes, each costing roughly a third of the linear solver's
+// single pass. It therefore needs about log2(n)/3 effective cores to break
+// even, and below MinParallelN the goroutine fan-out and barrier overhead
+// dominate regardless of core count.
+const (
+	// MinParallelN is the instance size below which Auto never picks the
+	// goroutine-parallel solver.
+	MinParallelN = 1 << 15
+	// breakEvenLogDivisor: NativeParallel needs ~log2(n)/3 effective cores
+	// to match the sequential linear-time solver's O(n) single pass.
+	breakEvenLogDivisor = 3
+	// minParallelCores is the floor on that break-even estimate: with
+	// fewer than two cores the parallel solver cannot win at any size.
+	minParallelCores = 2
+	// workerGrain is the target elements per worker; spreading fewer than
+	// this across extra goroutines costs more in startup and barriers than
+	// the added parallelism returns.
+	workerGrain = 1 << 14
+)
+
+// Probe sampling budgets. Sampling is by fixed stride — never randomized —
+// so identical instances always produce identical features and plans.
+const (
+	probeLabelSamples = 256
+	probeWalks        = 64
+)
+
+// Features are the cheap instance measurements the planner reads: O(probe
+// budget) work, independent of instance size.
+type Features struct {
+	// N is the instance size.
+	N int `json:"n"`
+	// SampledLabels counts distinct initial-partition labels among up to
+	// probeLabelSamples stride-sampled elements — a lower bound on |B|.
+	SampledLabels int `json:"sampled_labels,omitempty"`
+	// ShortCycleFrac is the fraction of stride-sampled walks that closed a
+	// cycle within ~2 log2(n) steps: near 1.0 for short-cycle families
+	// (the Section 3 regime), near 0 for trees and long random cycles.
+	ShortCycleFrac float64 `json:"short_cycle_frac,omitempty"`
+	// Probed reports whether the sampled probe ran; explicit algorithm
+	// requests skip it and only record N.
+	Probed bool `json:"probed,omitempty"`
+}
+
+// Probe computes the planner's features for a validated instance.
+func Probe(in coarsest.Instance) Features {
+	n := len(in.F)
+	ft := Features{N: n, Probed: true}
+	if n == 0 {
+		return ft
+	}
+
+	stride := n / probeLabelSamples
+	if stride < 1 {
+		stride = 1
+	}
+	labels := make(map[int]struct{}, 8)
+	for i, taken := 0, 0; i < n && taken < probeLabelSamples; i, taken = i+stride, taken+1 {
+		labels[in.B[i]] = struct{}{}
+	}
+	ft.SampledLabels = len(labels)
+
+	walks := probeWalks
+	if walks > n {
+		walks = n
+	}
+	wstride := n / walks
+	if wstride < 1 {
+		wstride = 1
+	}
+	maxSteps := 2*bits.Len(uint(n)) + 8
+	closed := 0
+	for s, done := 0, 0; done < walks; s, done = s+wstride, done+1 {
+		if brentShortCycle(in.F, s, maxSteps) {
+			closed++
+		}
+	}
+	ft.ShortCycleFrac = float64(closed) / float64(walks)
+	return ft
+}
+
+// brentShortCycle reports whether the walk from start closes a cycle
+// within maxSteps applications of f, using Brent's power-of-two teleport
+// (O(maxSteps) time, O(1) space — the probe runs on every Auto solve, so
+// a quadratic visited-scan would eat the planning budget it guards).
+func brentShortCycle(f []int, start, maxSteps int) bool {
+	power, lam := 1, 1
+	tortoise, hare := start, f[start]
+	for step := 1; step < maxSteps; step++ {
+		if tortoise == hare {
+			return true
+		}
+		if power == lam {
+			tortoise = hare
+			power <<= 1
+			lam = 0
+		}
+		hare = f[hare]
+		lam++
+	}
+	return tortoise == hare
+}
+
+// Request is what a caller asks the engine for: an algorithm (possibly
+// Auto), a host-goroutine budget (0 = NumCPU) and a simulator seed.
+type Request struct {
+	Algorithm Algorithm
+	Workers   int
+	Seed      uint64
+}
+
+// Plan is a resolved, explainable execution decision. Algorithm is always
+// concrete (never Auto) and Workers is the exact goroutine count the
+// parallel solvers will use.
+type Plan struct {
+	Algorithm Algorithm `json:"algorithm"`
+	Workers   int       `json:"workers"`
+	Reason    string    `json:"reason"`
+	Features  Features  `json:"features"`
+}
+
+// Timings reports where a solve spent its time, stage by stage.
+type Timings struct {
+	// Plan covers feature probing and algorithm resolution.
+	Plan time.Duration `json:"plan_ns"`
+	// Solve covers the dispatched algorithm itself.
+	Solve time.Duration `json:"solve_ns"`
+}
+
+// Outcome is Run's full result: the labels, the simulator counters for the
+// PRAM algorithms (nil otherwise), the plan that produced them and the
+// per-stage timings.
+type Outcome struct {
+	Labels  []int
+	Stats   *pram.Stats
+	Plan    Plan
+	Timings Timings
+}
+
+// coresToBreakEven estimates how many effective cores NativeParallel needs
+// to match the sequential linear solver on an n-element instance.
+func coresToBreakEven(n int) int {
+	need := bits.Len(uint(n)) / breakEvenLogDivisor
+	if need < minParallelCores {
+		need = minParallelCores
+	}
+	return need
+}
+
+// scaleWorkers sizes the goroutine count to the instance: one worker per
+// workerGrain elements, within the budget.
+func scaleWorkers(n, budget int) int {
+	w := n / workerGrain
+	if w < 1 {
+		w = 1
+	}
+	if w > budget {
+		w = budget
+	}
+	return w
+}
+
+// MakePlan resolves a request against a validated instance. Explicit
+// algorithm choices are honored as-is (only the worker count is resolved);
+// Auto runs the probe and applies the calibrated crossover. Plans are
+// deterministic in (instance, request).
+func MakePlan(in coarsest.Instance, req Request) (Plan, error) {
+	n := len(in.F)
+	if req.Algorithm != Auto {
+		if _, ok := dispatch[req.Algorithm]; !ok {
+			return Plan{}, fmt.Errorf("sfcp: unknown algorithm %v", req.Algorithm)
+		}
+		p := Plan{
+			Algorithm: req.Algorithm,
+			Workers:   1,
+			Reason:    fmt.Sprintf("explicit %s request", req.Algorithm),
+			Features:  Features{N: n},
+		}
+		switch req.Algorithm {
+		case NativeParallel:
+			budget := par.Workers(req.Workers)
+			if req.Workers == 0 {
+				// An unstated budget is scaled to the instance; an explicit
+				// one is an instruction, not a hint.
+				p.Workers = scaleWorkers(n, budget)
+			} else {
+				p.Workers = budget
+			}
+		case ParallelPRAM, DoublingHash, DoublingSort:
+			p.Workers = par.Workers(req.Workers)
+		}
+		return p, nil
+	}
+
+	ft := Probe(in)
+	budget := par.Workers(req.Workers)
+	need := coresToBreakEven(n)
+	switch {
+	case n < MinParallelN:
+		return Plan{
+			Algorithm: Linear,
+			Workers:   1,
+			Reason: fmt.Sprintf("auto: n=%d below parallel crossover %d; sequential linear-time solver avoids goroutine fan-out",
+				n, MinParallelN),
+			Features: ft,
+		}, nil
+	case budget < need:
+		return Plan{
+			Algorithm: Linear,
+			Workers:   1,
+			Reason: fmt.Sprintf("auto: worker budget %d under break-even ~log2(n)/%d = %d cores at n=%d; sequential linear-time solver",
+				budget, breakEvenLogDivisor, need, n),
+			Features: ft,
+		}, nil
+	default:
+		w := scaleWorkers(n, budget)
+		return Plan{
+			Algorithm: NativeParallel,
+			Workers:   w,
+			Reason: fmt.Sprintf("auto: n=%d at or above crossover %d and budget %d covers break-even %d cores; native-parallel with %d workers (~%d elements each)",
+				n, MinParallelN, budget, need, w, n/w),
+			Features: ft,
+		}, nil
+	}
+}
+
+// Run is the engine's front door: probe, plan, dispatch, with per-stage
+// timings. The instance must already be validated; sc may be nil.
+func Run(ctx context.Context, in coarsest.Instance, req Request, sc *coarsest.Scratch) (Outcome, error) {
+	t0 := time.Now()
+	plan, err := MakePlan(in, req)
+	planDur := time.Since(t0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	t1 := time.Now()
+	labels, stats, err := Execute(ctx, in, plan, req.Seed, sc)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Labels:  labels,
+		Stats:   stats,
+		Plan:    plan,
+		Timings: Timings{Plan: planDur, Solve: time.Since(t1)},
+	}, nil
+}

@@ -135,19 +135,24 @@ type job struct {
 // Labels are deliberately absent — status polls stay cheap; results travel
 // through Result.
 type Snapshot struct {
-	ID          string      `json:"id"`
-	State       State       `json:"state"`
-	Algorithm   string      `json:"algorithm"`
-	Priority    int         `json:"priority,omitempty"`
-	N           int         `json:"n"`
-	SubmittedAt time.Time   `json:"submitted_at"`
-	StartedAt   *time.Time  `json:"started_at,omitempty"`
-	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
-	ElapsedMS   float64     `json:"elapsed_ms,omitempty"`
-	NumClasses  int         `json:"num_classes,omitempty"`
-	Cached      bool        `json:"cached,omitempty"`
-	Error       string      `json:"error,omitempty"`
-	Stats       *sfcp.Stats `json:"stats,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Algorithm is what the submission asked for; ResolvedAlgorithm (set
+	// once the job is done) is what the planner actually ran, with
+	// PlanReason explaining the choice.
+	Algorithm         string      `json:"algorithm"`
+	ResolvedAlgorithm string      `json:"resolved_algorithm,omitempty"`
+	PlanReason        string      `json:"plan_reason,omitempty"`
+	Priority          int         `json:"priority,omitempty"`
+	N                 int         `json:"n"`
+	SubmittedAt       time.Time   `json:"submitted_at"`
+	StartedAt         *time.Time  `json:"started_at,omitempty"`
+	FinishedAt        *time.Time  `json:"finished_at,omitempty"`
+	ElapsedMS         float64     `json:"elapsed_ms,omitempty"`
+	NumClasses        int         `json:"num_classes,omitempty"`
+	Cached            bool        `json:"cached,omitempty"`
+	Error             string      `json:"error,omitempty"`
+	Stats             *sfcp.Stats `json:"stats,omitempty"`
 }
 
 // Counts is a point-in-time tally of the store, for metrics export.
@@ -464,6 +469,10 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		s.NumClasses = j.res.NumClasses
 		s.Cached = j.cached
 		s.Stats = j.res.Stats
+		if j.res.Plan != nil {
+			s.ResolvedAlgorithm = j.res.Plan.Algorithm.String()
+			s.PlanReason = j.res.Plan.Reason
+		}
 	}
 	return s
 }

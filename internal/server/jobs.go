@@ -129,12 +129,14 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SolveResponse{
-		Algorithm:  snap.Algorithm,
-		Labels:     res.Labels,
-		NumClasses: res.NumClasses,
-		Cached:     snap.Cached,
-		ElapsedMS:  snap.ElapsedMS,
-		Stats:      res.Stats,
+		Algorithm:         snap.Algorithm,
+		ResolvedAlgorithm: snap.ResolvedAlgorithm,
+		PlanReason:        snap.PlanReason,
+		Labels:            res.Labels,
+		NumClasses:        res.NumClasses,
+		Cached:            snap.Cached,
+		ElapsedMS:         snap.ElapsedMS,
+		Stats:             res.Stats,
 	})
 }
 

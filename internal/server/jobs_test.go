@@ -337,3 +337,35 @@ func TestBatchBinaryDigestMismatchIsPositional(t *testing.T) {
 		}
 	}
 }
+
+// TestJobReportsResolvedAlgorithm: async jobs surface the planner's choice
+// in the done snapshot and the JSON result, like the synchronous API.
+func TestJobReportsResolvedAlgorithm(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wl := workload.RandomFunction(13, 80, 3)
+	snap, resp, data := submitJSONJob(t, ts,
+		fmt.Sprintf(`{"f":%s,"b":%s}`, toJSON(t, wl.F), toJSON(t, wl.B)))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	if snap.ResolvedAlgorithm != "" {
+		t.Errorf("queued snapshot already claims a resolved algorithm: %+v", snap)
+	}
+	done := pollJob(t, ts, snap.ID, jobs.StateDone)
+	if done.Algorithm != "auto" || done.ResolvedAlgorithm != "linear" || done.PlanReason == "" {
+		t.Fatalf("done snapshot: algorithm=%q resolved=%q reason=%q",
+			done.Algorithm, done.ResolvedAlgorithm, done.PlanReason)
+	}
+	respRes, err := http.Get(ts.URL + "/jobs/" + snap.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respRes.Body.Close()
+	var res SolveResponse
+	if err := json.NewDecoder(respRes.Body).Decode(&res); err != nil || respRes.StatusCode != 200 {
+		t.Fatalf("result: code %d err %v", respRes.StatusCode, err)
+	}
+	if res.Algorithm != "auto" || res.ResolvedAlgorithm != "linear" {
+		t.Errorf("result reports algorithm=%q resolved=%q", res.Algorithm, res.ResolvedAlgorithm)
+	}
+}

@@ -21,7 +21,8 @@ type metrics struct {
 	cacheHits int64
 	cacheMiss int64
 	ingested  map[string]int64       // body bytes by format ("json", "binary")
-	solves    map[string]*solveStats // by algorithm name
+	solves    map[string]*solveStats // by resolved algorithm name
+	plans     map[string]int64       // planner resolutions by resolved algorithm
 }
 
 type solveStats struct {
@@ -38,7 +39,16 @@ func newMetrics() *metrics {
 		errors:   map[string]int64{},
 		ingested: map[string]int64{},
 		solves:   map[string]*solveStats{},
+		plans:    map[string]int64{},
 	}
+}
+
+// plan records one planner resolution: which concrete algorithm a request
+// (auto or explicit) mapped to.
+func (m *metrics) plan(algo string) {
+	m.mu.Lock()
+	m.plans[algo]++
+	m.mu.Unlock()
 }
 
 func (m *metrics) ingest(format string, bytes int64) {
@@ -110,6 +120,10 @@ func (m *metrics) render() string {
 	emit("# TYPE sfcpd_ingest_bytes_total counter\n")
 	for _, format := range sortedKeys(m.ingested) {
 		emit("sfcpd_ingest_bytes_total{format=%q} %d\n", format, m.ingested[format])
+	}
+	emit("# TYPE sfcpd_plan_algorithm_total counter\n")
+	for _, algo := range sortedKeys(m.plans) {
+		emit("sfcpd_plan_algorithm_total{algorithm=%q} %d\n", algo, m.plans[algo])
 	}
 	emit("# TYPE sfcpd_solves_total counter\n")
 	for _, algo := range sortedKeys(m.solves) {

@@ -43,6 +43,11 @@ func newPool(workersPerAlgo, queueDepth int) *pool {
 		done:   make(chan struct{}),
 	}
 	for _, algo := range sfcp.Algorithms() {
+		// Submissions arrive planner-resolved, so "auto" can never be
+		// queued — building it a crew would just park idle goroutines.
+		if algo == sfcp.AlgorithmAuto {
+			continue
+		}
 		q := make(chan *poolTask, queueDepth)
 		p.queues[algo] = q
 		for w := 0; w < workersPerAlgo; w++ {

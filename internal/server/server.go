@@ -16,10 +16,15 @@
 // both formats, so a collision-crafted wire digest cannot poison the
 // cache and either format hits entries the other populated.
 //
-// Requests are scheduled onto bounded per-algorithm worker pools and
-// results are memoized in an LRU keyed by (algorithm, seed, instance
-// digest), so hot instances — the "millions of users asking the same
-// question" regime — are served without recomputation.
+// Every request's algorithm is first resolved by the library's adaptive
+// planner ("auto" becomes a concrete solver chosen per instance), and the
+// resolved algorithm keys everything downstream: requests are scheduled
+// onto bounded per-algorithm worker pools and results are memoized in an
+// LRU keyed by (resolved algorithm, seed, instance digest), so hot
+// instances — the "millions of users asking the same question" regime —
+// are served without recomputation, and an "auto" request shares its
+// entry with the explicit request it resolves to. Responses report the
+// resolved algorithm and the planner's reason.
 package server
 
 import (
@@ -105,15 +110,23 @@ type SolveRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 }
 
-// SolveResponse is the JSON reply for one instance.
+// SolveResponse is the JSON reply for one instance. Algorithm echoes what
+// the request asked for; ResolvedAlgorithm is what the planner actually
+// ran (they differ exactly when the request said "auto"), with PlanReason
+// explaining the choice.
 type SolveResponse struct {
-	Algorithm  string      `json:"algorithm"`
-	Labels     []int       `json:"labels,omitempty"`
-	NumClasses int         `json:"num_classes"`
-	Cached     bool        `json:"cached"`
-	ElapsedMS  float64     `json:"elapsed_ms"`
-	Stats      *sfcp.Stats `json:"stats,omitempty"`
-	Error      string      `json:"error,omitempty"`
+	Algorithm         string      `json:"algorithm"`
+	ResolvedAlgorithm string      `json:"resolved_algorithm,omitempty"`
+	PlanReason        string      `json:"plan_reason,omitempty"`
+	PlanWorkers       int         `json:"plan_workers,omitempty"`
+	Labels            []int       `json:"labels,omitempty"`
+	NumClasses        int         `json:"num_classes"`
+	Cached            bool        `json:"cached"`
+	ElapsedMS         float64     `json:"elapsed_ms"`
+	PlanMS            float64     `json:"plan_ms,omitempty"`
+	SolveMS           float64     `json:"solve_ms,omitempty"`
+	Stats             *sfcp.Stats `json:"stats,omitempty"`
+	Error             string      `json:"error,omitempty"`
 
 	// transient marks server-side failures (shutdown, cancellation) that
 	// deserve a 503 rather than a 400; never serialized.
@@ -156,7 +169,12 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		solvers: map[sfcp.Algorithm]*sfcp.Solver{},
 	}
+	// One solver (scratch-arena pool) per concrete algorithm; "auto" never
+	// reaches this map — solveResult resolves it first.
 	for _, algo := range sfcp.Algorithms() {
+		if algo == sfcp.AlgorithmAuto {
+			continue
+		}
 		s.solvers[algo] = sfcp.NewSolver(sfcp.Options{
 			Algorithm: algo, Workers: cfg.Workers, Seed: cfg.Seed,
 		})
@@ -169,7 +187,7 @@ func New(cfg Config) *Server {
 		DispatchersPerAlgorithm: cfg.WorkersPerAlgorithm,
 		TTL:                     cfg.JobTTL,
 	}, func(ctx context.Context, algo sfcp.Algorithm, seed *uint64, ins sfcp.Instance) (sfcp.Result, bool, error) {
-		res, cached, _, err := s.solveResult(ctx, algo, seed, ins)
+		res, _, cached, _, err := s.solveResult(ctx, algo, seed, ins)
 		return res, cached, err
 	})
 	s.mux.HandleFunc("/solve", s.handleSolve)
@@ -485,62 +503,88 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo str
 // SolveResponse shape.
 func (s *Server) solveInstance(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) SolveResponse {
 	resp := SolveResponse{Algorithm: algo.String()}
-	res, cached, elapsed, err := s.solveResult(ctx, algo, seedOverride, ins)
+	res, plan, cached, elapsed, err := s.solveResult(ctx, algo, seedOverride, ins)
 	if err != nil {
 		resp.Error = err.Error()
 		resp.transient = errors.Is(err, errShutdown) ||
 			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		return resp
 	}
+	resp.ResolvedAlgorithm = plan.Algorithm.String()
+	resp.PlanReason = plan.Reason
+	resp.PlanWorkers = plan.Workers
 	resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, cached
 	if !cached {
 		resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		resp.PlanMS = float64(res.Timings.Plan) / float64(time.Millisecond)
+		resp.SolveMS = float64(res.Timings.Solve) / float64(time.Millisecond)
 	}
 	return resp
 }
 
 // solveResult is the one solve path of the server — synchronous handlers
-// and async job dispatchers both land here. It consults the cache under
-// the instance's SHA-256 content address and otherwise schedules the solve
-// on the algorithm's worker queue, with ctx cancelling both the queue wait
-// and (cooperatively) the solve itself. Both ingest formats share the
-// cache keyspace deliberately: the wire format's XXH64 trailer guards
-// integrity but is not collision-resistant, so cache correctness — where a
-// crafted collision would serve one instance another's labels — rests on
-// the cryptographic digest, and a JSON upload of an instance hits the
-// entry its binary twin populated. With caching disabled no digest is
-// computed at all.
-func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) (sfcp.Result, bool, time.Duration, error) {
+// and async job dispatchers both land here. It first resolves the
+// request's execution plan (validating the instance as a side effect), so
+// everything downstream — the cache key, the worker queue, the metrics —
+// is keyed by the algorithm that actually runs: a request for "auto" and
+// an explicit request for the planner's choice share one cache entry and
+// one queue instead of solving twice.
+//
+// The cache uses the instance's SHA-256 content address. Both ingest
+// formats share the cache keyspace deliberately: the wire format's XXH64
+// trailer guards integrity but is not collision-resistant, so cache
+// correctness — where a crafted collision would serve one instance
+// another's labels — rests on the cryptographic digest, and a JSON upload
+// of an instance hits the entry its binary twin populated. With caching
+// disabled no digest is computed at all.
+func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) (sfcp.Result, sfcp.Plan, bool, time.Duration, error) {
 	seed := s.cfg.Seed
 	if seedOverride != nil {
 		seed = *seedOverride
 	}
+	planStart := time.Now()
+	plan, err := sfcp.PlanWith(ins, sfcp.Options{Algorithm: algo, Workers: s.cfg.Workers})
+	planDur := time.Since(planStart)
+	if err != nil {
+		s.metrics.solve(algo.String(), 0, 0, err)
+		return sfcp.Result{}, sfcp.Plan{}, false, 0, err
+	}
+	resolved := plan.Algorithm
+	s.metrics.plan(resolved.String())
 	var key string
 	if s.cache.enabled() {
-		key = fmt.Sprintf("%s/%d/%s", algo, seed, ins.Digest())
+		key = fmt.Sprintf("%s/%d/%s", resolved, seed, ins.Digest())
 		if res, ok := s.cache.Get(key); ok {
 			s.metrics.cache(true)
-			return res, true, 0, nil
+			// The labels are shared, but the plan reported is this
+			// request's own resolution — not whatever request happened to
+			// populate the entry (an "auto" hit on an explicit twin's
+			// entry must not claim "explicit ... request").
+			res.Plan = &plan
+			return res, plan, true, 0, nil
 		}
 		s.metrics.cache(false)
 	}
 
 	start := time.Now()
-	res, err := s.pool.submit(ctx, algo, func(ctx context.Context) (sfcp.Result, error) {
+	res, err := s.pool.submit(ctx, resolved, func(ctx context.Context) (sfcp.Result, error) {
+		// Execute exactly the plan that chose the queue and the cache key —
+		// no re-validation of the choice inside the pool.
 		if seed == s.cfg.Seed {
-			return s.solvers[algo].SolveContext(ctx, ins)
+			return s.solvers[resolved].SolvePlanned(ctx, ins, plan)
 		}
-		return sfcp.SolveWithContext(ctx, ins, sfcp.Options{Algorithm: algo, Workers: s.cfg.Workers, Seed: seed})
+		return sfcp.SolvePlanned(ctx, ins, plan, sfcp.Options{Seed: seed})
 	})
 	elapsed := time.Since(start)
-	s.metrics.solve(algo.String(), elapsed, res.NumClasses, err)
+	s.metrics.solve(resolved.String(), elapsed, res.NumClasses, err)
 	if err != nil {
-		return sfcp.Result{}, false, elapsed, err
+		return sfcp.Result{}, plan, false, elapsed, err
 	}
+	res.Timings.Plan = planDur
 	if key != "" {
 		s.cache.Put(key, res)
 	}
-	return res, false, elapsed, nil
+	return res, plan, false, elapsed, nil
 }
 
 func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string) {

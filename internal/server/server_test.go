@@ -346,3 +346,59 @@ func toJSON(t *testing.T, v any) string {
 	}
 	return string(b)
 }
+
+// TestResolvedAlgorithmSharedCache: an "auto" request and an explicit
+// request for the planner's choice are one cache entry — keyed by the
+// resolved algorithm — and both report what actually ran.
+func TestResolvedAlgorithmSharedCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	wl := workload.RandomFunction(9, 100, 3)
+	body := fmt.Sprintf(`{"f":%s,"b":%s}`, toJSON(t, wl.F), toJSON(t, wl.B))
+
+	var auto SolveResponse
+	_, data := post(t, ts.URL+"/solve", body)
+	if err := json.Unmarshal(data, &auto); err != nil {
+		t.Fatal(err)
+	}
+	if auto.Error != "" || auto.Cached {
+		t.Fatalf("auto solve: %+v", auto)
+	}
+	if auto.Algorithm != "auto" || auto.ResolvedAlgorithm == "" || auto.ResolvedAlgorithm == "auto" {
+		t.Fatalf("auto request did not report a concrete resolved algorithm: %+v", auto)
+	}
+	if auto.PlanReason == "" {
+		t.Errorf("auto response missing plan_reason: %+v", auto)
+	}
+	// A 100-element instance is far below the crossover on every host, so
+	// the resolution is deterministic.
+	if auto.ResolvedAlgorithm != "linear" {
+		t.Fatalf("small-instance auto resolved to %q, want linear", auto.ResolvedAlgorithm)
+	}
+
+	// The explicit twin of the resolved algorithm must hit the same entry.
+	explicit := fmt.Sprintf(`{"algorithm":%q,"f":%s,"b":%s}`, auto.ResolvedAlgorithm, toJSON(t, wl.F), toJSON(t, wl.B))
+	var hit SolveResponse
+	_, data = post(t, ts.URL+"/solve", explicit)
+	if err := json.Unmarshal(data, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Errorf("explicit %s request after auto was not a cache hit: %+v", auto.ResolvedAlgorithm, hit)
+	}
+	if hit.ResolvedAlgorithm != auto.ResolvedAlgorithm {
+		t.Errorf("explicit request resolved to %q, auto resolved to %q", hit.ResolvedAlgorithm, auto.ResolvedAlgorithm)
+	}
+	if !sfcp.SamePartition(hit.Labels, auto.Labels) {
+		t.Error("cached labels differ between auto and explicit requests")
+	}
+
+	m := fetchMetrics(t, ts)
+	for _, want := range []string{
+		`sfcpd_plan_algorithm_total{algorithm="linear"} 2`,
+		"sfcpd_cache_hits_total 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}

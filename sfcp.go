@@ -25,10 +25,11 @@ package sfcp
 
 import (
 	"context"
-	"fmt"
+	"time"
 
 	"sfcp/internal/circ"
 	"sfcp/internal/coarsest"
+	"sfcp/internal/engine"
 	"sfcp/internal/pram"
 	"sfcp/internal/strsort"
 )
@@ -40,54 +41,37 @@ type Instance struct {
 	B []int
 }
 
-// Algorithm selects a solver.
-type Algorithm uint8
+// Algorithm selects a solver. It aliases the execution engine's type, so
+// the engine's planner and dispatch table are the single source of truth
+// for what each value means and how it runs.
+type Algorithm = engine.Algorithm
 
 const (
-	// AlgorithmAuto picks NativeParallel, the fastest practical solver.
-	AlgorithmAuto Algorithm = iota
+	// AlgorithmAuto defers the choice to the adaptive planner, which
+	// resolves it per instance: the sequential linear-time solver below a
+	// benchmark-calibrated crossover (where goroutine fan-out costs more
+	// than it returns), NativeParallel with a size-scaled worker count
+	// above it. Result.Plan reports the resolved algorithm and why.
+	AlgorithmAuto = engine.Auto
 	// AlgorithmMoore is naive iterative refinement (O(n^2) worst case).
-	AlgorithmMoore
+	AlgorithmMoore = engine.Moore
 	// AlgorithmHopcroft is partition refinement, O(n log n).
-	AlgorithmHopcroft
+	AlgorithmHopcroft = engine.Hopcroft
 	// AlgorithmLinear is the sequential linear-time cycle/tree solution.
-	AlgorithmLinear
+	AlgorithmLinear = engine.Linear
 	// AlgorithmParallelPRAM is the paper's algorithm on the instrumented
 	// CRCW PRAM simulator (Theorem 5.1); Result.Stats reports its
 	// parallel rounds and operations.
-	AlgorithmParallelPRAM
+	AlgorithmParallelPRAM = engine.ParallelPRAM
 	// AlgorithmNativeParallel runs goroutines on real cores.
-	AlgorithmNativeParallel
+	AlgorithmNativeParallel = engine.NativeParallel
 	// AlgorithmDoublingHash is the O(n log n)-work parallel baseline
 	// (Galley–Iliopoulos cost shape) on the simulator.
-	AlgorithmDoublingHash
+	AlgorithmDoublingHash = engine.DoublingHash
 	// AlgorithmDoublingSort is the O(n log^2 n)-work parallel baseline
 	// (Srikant cost shape) on the simulator.
-	AlgorithmDoublingSort
+	AlgorithmDoublingSort = engine.DoublingSort
 )
-
-// String returns the algorithm name.
-func (a Algorithm) String() string {
-	switch a {
-	case AlgorithmAuto:
-		return "auto"
-	case AlgorithmMoore:
-		return "moore"
-	case AlgorithmHopcroft:
-		return "hopcroft"
-	case AlgorithmLinear:
-		return "linear"
-	case AlgorithmParallelPRAM:
-		return "parallel-pram"
-	case AlgorithmNativeParallel:
-		return "native-parallel"
-	case AlgorithmDoublingHash:
-		return "doubling-hash"
-	case AlgorithmDoublingSort:
-		return "doubling-sort"
-	}
-	return fmt.Sprintf("Algorithm(%d)", uint8(a))
-}
 
 // Stats reports the complexity counters of a simulated PRAM execution.
 type Stats struct {
@@ -108,9 +92,12 @@ func fromPRAM(s pram.Stats) *Stats {
 
 // Options configures SolveWith and NewSolver.
 type Options struct {
-	// Algorithm selects the solver (default AlgorithmAuto).
+	// Algorithm selects the solver (default AlgorithmAuto, resolved per
+	// instance by the adaptive planner; see Result.Plan).
 	Algorithm Algorithm
-	// Workers bounds host goroutines for the parallel solvers (0 = NumCPU).
+	// Workers bounds host goroutines for the parallel solvers. 0 lets the
+	// engine choose: a NumCPU budget, scaled down to the instance size for
+	// native-parallel solves (PlanWith reports the exact count).
 	Workers int
 	// Seed drives the simulator's deterministic arbitrary-write choices.
 	Seed uint64
@@ -118,6 +105,19 @@ type Options struct {
 	// in SolveBatch (0 = NumCPU). Ignored by SolveWith.
 	Parallelism int
 }
+
+// Plan is the execution decision the engine resolved for a solve: the
+// concrete algorithm (never AlgorithmAuto), the exact worker count, a
+// human-readable reason, and the instance features the planner read.
+type Plan = engine.Plan
+
+// Features are the cheap instance measurements behind a Plan: size, a
+// sampled initial-label count and a sampled cycle/tree structure probe.
+type Features = engine.Features
+
+// Timings reports a solve's per-stage wall clock: planning (feature probe
+// plus algorithm resolution) and the dispatched solve itself.
+type Timings = engine.Timings
 
 // Result is the output of SolveWith.
 type Result struct {
@@ -129,6 +129,11 @@ type Result struct {
 	// Stats holds simulator counters for the PRAM algorithms, nil
 	// otherwise.
 	Stats *Stats
+	// Plan is the resolved execution plan — with AlgorithmAuto this is how
+	// callers learn which solver actually ran and why.
+	Plan *Plan
+	// Timings is the per-stage wall clock of this solve.
+	Timings Timings
 }
 
 // Solve computes the coarsest partition of (f, b) with the default solver
@@ -156,46 +161,73 @@ func SolveWithContext(ctx context.Context, ins Instance, opts Options) (Result, 
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	return solveValidated(ctx, in, opts)
+	return solveValidated(ctx, in, opts, nil)
 }
 
-// solveValidated dispatches on the algorithm; in must already be validated.
-func solveValidated(ctx context.Context, in coarsest.Instance, opts Options) (Result, error) {
-	if err := ctx.Err(); err != nil {
+// PlanWith resolves the execution plan for an instance without solving it:
+// the algorithm that would run (AlgorithmAuto resolved by the adaptive
+// planner), the worker count, and the reason. Planning is deterministic —
+// identical instances and options always yield identical plans.
+func PlanWith(ins Instance, opts Options) (Plan, error) {
+	in := coarsest.Instance{F: ins.F, B: ins.B}
+	if err := in.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return engine.MakePlan(in, engine.Request{Algorithm: opts.Algorithm, Workers: opts.Workers, Seed: opts.Seed})
+}
+
+// SolvePlanned executes a plan previously resolved by PlanWith (or
+// Solver.Plan) for this instance, without re-probing or re-planning — the
+// path for callers that need the plan before the solve (to pick a queue or
+// a cache key) and must then execute exactly what was promised. Only
+// opts.Seed is consulted; the algorithm and worker count come from the
+// plan. Result.Timings.Plan is zero: planning happened at PlanWith time.
+func SolvePlanned(ctx context.Context, ins Instance, plan Plan, opts Options) (Result, error) {
+	in := coarsest.Instance{F: ins.F, B: ins.B}
+	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	popts := coarsest.ParallelOptions{Workers: opts.Workers, Seed: opts.Seed}
-	var labels []int
-	var stats *Stats
-	var err error
-	switch opts.Algorithm {
-	case AlgorithmAuto, AlgorithmNativeParallel:
-		labels, err = coarsest.NativeParallelCtx(ctx, in, opts.Workers, nil)
-	case AlgorithmMoore:
-		labels = coarsest.Moore(in)
-	case AlgorithmHopcroft:
-		labels = coarsest.Hopcroft(in)
-	case AlgorithmLinear:
-		labels = coarsest.LinearSequential(in)
-	case AlgorithmParallelPRAM:
-		var res coarsest.ParallelResult
-		res, err = coarsest.ParallelPRAMContext(ctx, in, popts)
-		labels, stats = res.Labels, fromPRAM(res.Stats)
-	case AlgorithmDoublingHash:
-		var res coarsest.ParallelResult
-		res, err = coarsest.DoublingHashPRAMContext(ctx, in, popts)
-		labels, stats = res.Labels, fromPRAM(res.Stats)
-	case AlgorithmDoublingSort:
-		var res coarsest.ParallelResult
-		res, err = coarsest.DoublingSortPRAMContext(ctx, in, popts)
-		labels, stats = res.Labels, fromPRAM(res.Stats)
-	default:
-		return Result{}, fmt.Errorf("sfcp: unknown algorithm %v", opts.Algorithm)
-	}
+	return executePlan(ctx, in, plan, opts.Seed, nil)
+}
+
+// executePlan dispatches a resolved plan through the engine and shapes the
+// library Result.
+func executePlan(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, sc *coarsest.Scratch) (Result, error) {
+	start := time.Now()
+	labels, stats, err := engine.Execute(ctx, in, plan, seed, sc)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Labels: labels, NumClasses: coarsest.NumClasses(labels), Stats: stats}, nil
+	res := Result{
+		Labels:     labels,
+		NumClasses: coarsest.NumClasses(labels),
+		Plan:       &plan,
+		Timings:    Timings{Solve: time.Since(start)},
+	}
+	if stats != nil {
+		res.Stats = fromPRAM(*stats)
+	}
+	return res, nil
+}
+
+// solveValidated hands a validated instance to the execution engine — the
+// one place in the codebase an algorithm is chosen and dispatched. sc may
+// be nil (only native-parallel solves use it).
+func solveValidated(ctx context.Context, in coarsest.Instance, opts Options, sc *coarsest.Scratch) (Result, error) {
+	out, err := engine.Run(ctx, in, engine.Request{Algorithm: opts.Algorithm, Workers: opts.Workers, Seed: opts.Seed}, sc)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Labels:     out.Labels,
+		NumClasses: coarsest.NumClasses(out.Labels),
+		Plan:       &out.Plan,
+		Timings:    out.Timings,
+	}
+	if out.Stats != nil {
+		res.Stats = fromPRAM(*out.Stats)
+	}
+	return res, nil
 }
 
 // MinimalRotation returns the index at which the lexicographically least

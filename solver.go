@@ -11,17 +11,14 @@ import (
 	"sync"
 
 	"sfcp/internal/coarsest"
+	"sfcp/internal/engine"
 	"sfcp/internal/par"
 )
 
 // Algorithms lists every solver in declaration order — the canonical
 // enumeration for CLIs, servers and tests.
 func Algorithms() []Algorithm {
-	return []Algorithm{
-		AlgorithmAuto, AlgorithmMoore, AlgorithmHopcroft, AlgorithmLinear,
-		AlgorithmParallelPRAM, AlgorithmNativeParallel, AlgorithmDoublingHash,
-		AlgorithmDoublingSort,
-	}
+	return engine.Algorithms()
 }
 
 // ParseAlgorithm maps a name (as printed by Algorithm.String) back to its
@@ -125,20 +122,32 @@ func (s *Solver) SolveContext(ctx context.Context, ins Instance) (Result, error)
 }
 
 func (s *Solver) solveValidated(ctx context.Context, in coarsest.Instance, workers int) (Result, error) {
-	switch s.opts.Algorithm {
-	case AlgorithmAuto, AlgorithmNativeParallel:
-		sc := s.scratch.Get().(*coarsest.Scratch)
-		labels, err := coarsest.NativeParallelCtx(ctx, in, workers, sc)
-		s.scratch.Put(sc)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Labels: labels, NumClasses: coarsest.NumClasses(labels)}, nil
-	default:
-		opts := s.opts
-		opts.Workers = workers
-		return solveValidated(ctx, in, opts)
+	opts := s.opts
+	opts.Workers = workers
+	sc := s.scratch.Get().(*coarsest.Scratch)
+	res, err := solveValidated(ctx, in, opts, sc)
+	s.scratch.Put(sc)
+	return res, err
+}
+
+// Plan resolves the execution plan the solver would use for ins without
+// solving it (see PlanWith).
+func (s *Solver) Plan(ins Instance) (Plan, error) {
+	return PlanWith(ins, s.opts)
+}
+
+// SolvePlanned executes a previously resolved plan with the solver's seed
+// and scratch arenas, without re-planning (see the package-level
+// SolvePlanned).
+func (s *Solver) SolvePlanned(ctx context.Context, ins Instance, plan Plan) (Result, error) {
+	in := coarsest.Instance{F: ins.F, B: ins.B}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
 	}
+	sc := s.scratch.Get().(*coarsest.Scratch)
+	res, err := executePlan(ctx, in, plan, s.opts.Seed, sc)
+	s.scratch.Put(sc)
+	return res, err
 }
 
 // SolveReader decodes one binary wire-format instance from r (see
