@@ -1,0 +1,137 @@
+// Package analysistest runs one analyzer over a fixture directory and
+// checks its findings against // want annotations — a dependency-free
+// miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture file marks each expected finding with a comment on the
+// offending line:
+//
+//	ch <- v // want "channel send"
+//
+// The quoted string is a regular expression matched against the
+// finding's message; several strings expect several findings on the
+// line. Lines without a want comment must produce no findings, so every
+// fixture is simultaneously a flagged and a clean case for its lines.
+// Suppression directives (//sfcpvet:ignore) are honored, letting
+// fixtures assert that silenced findings stay silent.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sfcp/internal/analysis"
+)
+
+// Run analyzes the single package in dir under the import path pkgPath
+// (fixtures sit in testdata, so the path the analyzer keys on must be
+// supplied) and reports mismatches against the // want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath, dir string) {
+	t.Helper()
+	root, modPath, err := analysis.FindModule(dir)
+	if err != nil {
+		t.Fatalf("locating module: %v", err)
+	}
+	pkg, err := analysis.LoadDir(root, modPath, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	pkg.Path = pkgPath
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment of the
+// fixture package.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, grp := range f.AST.Comments {
+			for _, c := range grp.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(rest)
+				if err != nil || len(patterns) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the double-quoted strings of a want comment.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		out = append(out, strings.ReplaceAll(s[1:end], `\"`, `"`))
+		s = s[end+1:]
+	}
+}

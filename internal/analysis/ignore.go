@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A finding a human has judged acceptable is
+// silenced where it occurs, with a mandatory reason:
+//
+//	//sfcpvet:ignore lockhold -- the send is to a buffered channel sized to the worker count
+//	//sfcpvet:ignore-file enginedispatch -- the bench harness measures raw entry points
+//
+// An inline directive covers its own line and the line directly below it
+// (so it can sit on its own line above the flagged statement); the file
+// form covers the whole file. The analyzer list is comma-separated;
+// "all" matches every analyzer. A directive missing the "-- reason"
+// tail is reported as a finding instead of being honored.
+
+const (
+	ignorePrefix     = "//sfcpvet:ignore "
+	ignoreFilePrefix = "//sfcpvet:ignore-file "
+)
+
+// ignoreSet indexes the package's directives for suppression checks.
+type ignoreSet struct {
+	// byLine maps filename -> line -> analyzer names covered on that line.
+	byLine map[string]map[int][]string
+	// byFile maps filename -> analyzer names covered file-wide.
+	byFile map[string][]string
+}
+
+func (s *ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	match := func(names []string) bool {
+		for _, n := range names {
+			if n == analyzer || n == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	if match(s.byFile[pos.Filename]) {
+		return true
+	}
+	lines := s.byLine[pos.Filename]
+	return match(lines[pos.Line]) || match(lines[pos.Line-1])
+}
+
+// collectIgnores scans every comment of the package for directives.
+// Malformed directives come back as findings under the "sfcpvet" name.
+func collectIgnores(pkg *Package) (*ignoreSet, []Finding) {
+	s := &ignoreSet{
+		byLine: map[string]map[int][]string{},
+		byFile: map[string][]string{},
+	}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, grp := range f.AST.Comments {
+			for _, c := range grp.List {
+				text, fileWide := "", false
+				switch {
+				case strings.HasPrefix(c.Text, ignoreFilePrefix):
+					text, fileWide = c.Text[len(ignoreFilePrefix):], true
+				case strings.HasPrefix(c.Text, ignorePrefix):
+					text = c.Text[len(ignorePrefix):]
+				default:
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names, reason, ok := splitDirective(text)
+				if !ok || reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "sfcpvet",
+						Pos:      pos,
+						Message:  `malformed suppression: want "//sfcpvet:ignore <analyzers> -- reason"`,
+					})
+					continue
+				}
+				if fileWide {
+					s.byFile[pos.Filename] = append(s.byFile[pos.Filename], names...)
+					continue
+				}
+				if s.byLine[pos.Filename] == nil {
+					s.byLine[pos.Filename] = map[int][]string{}
+				}
+				s.byLine[pos.Filename][pos.Line] = append(s.byLine[pos.Filename][pos.Line], names...)
+			}
+		}
+	}
+	return s, bad
+}
+
+// splitDirective parses "<names> -- <reason>".
+func splitDirective(text string) (names []string, reason string, ok bool) {
+	head, tail, found := strings.Cut(text, "--")
+	if !found {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(head, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, strings.TrimSpace(tail), true
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func parseFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return &Package{
+		Path:  "sfcp/internal/server",
+		Name:  f.Name.Name,
+		Fset:  fset,
+		Files: []*File{{AST: f, Name: "fixture.go"}},
+	}
+}
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"lockhold -- buffered channel sized to workers", []string{"lockhold"}, "buffered channel sized to workers", true},
+		{"lockhold, ctxpath -- two at once", []string{"lockhold", "ctxpath"}, "two at once", true},
+		{"all -- fixture file", []string{"all"}, "fixture file", true},
+		{"lockhold", nil, "", false},       // no reason separator
+		{"-- reason only", nil, "", false}, // no analyzer names
+	}
+	for _, c := range cases {
+		names, reason, ok := splitDirective(c.in)
+		if ok != c.ok || reason != c.reason || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("splitDirective(%q) = %v, %q, %v; want %v, %q, %v",
+				c.in, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	pkg := parseFixture(t, `package server
+
+//sfcpvet:ignore lockhold
+var x = 1
+`)
+	set, bad := collectIgnores(pkg)
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed-directive findings, want 1: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "sfcpvet" || bad[0].Pos.Line != 3 {
+		t.Errorf("finding = %+v; want analyzer sfcpvet at line 3", bad[0])
+	}
+	// A malformed directive must not suppress anything.
+	if set.suppressed("lockhold", token.Position{Filename: "fixture.go", Line: 4}) {
+		t.Error("malformed directive still suppressed the line below it")
+	}
+}
+
+func TestDirectiveCoverage(t *testing.T) {
+	pkg := parseFixture(t, `package server
+
+//sfcpvet:ignore lockhold -- reason one
+var a = 1
+
+var b = 2 //sfcpvet:ignore ctxpath, metricname -- reason two
+
+var c = 3
+`)
+	set, bad := collectIgnores(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", bad)
+	}
+	at := func(line int) token.Position { return token.Position{Filename: "fixture.go", Line: line} }
+
+	if !set.suppressed("lockhold", at(3)) || !set.suppressed("lockhold", at(4)) {
+		t.Error("inline directive should cover its own line and the next")
+	}
+	if set.suppressed("lockhold", at(5)) {
+		t.Error("inline directive leaked past the line below it")
+	}
+	if set.suppressed("ctxpath", at(4)) {
+		t.Error("wrong analyzer suppressed")
+	}
+	if !set.suppressed("ctxpath", at(6)) || !set.suppressed("metricname", at(6)) {
+		t.Error("comma-separated analyzer list not honored")
+	}
+}
+
+func TestFileWideDirectiveAndAllWildcard(t *testing.T) {
+	pkg := parseFixture(t, `package server
+
+//sfcpvet:ignore-file all -- generated fixture
+var a = 1
+`)
+	set, bad := collectIgnores(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", bad)
+	}
+	pos := token.Position{Filename: "fixture.go", Line: 42}
+	if !set.suppressed("lockhold", pos) || !set.suppressed("scratchalias", pos) {
+		t.Error("file-wide all directive should suppress every analyzer on every line")
+	}
+	if set.suppressed("lockhold", token.Position{Filename: "other.go", Line: 42}) {
+		t.Error("file-wide directive leaked into a different file")
+	}
+}

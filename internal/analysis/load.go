@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader is a minimal, network-free stand-in for go/packages: it
+// walks the module tree, parses every .go file with comments, and groups
+// files by directory under the directory's import path. No type checking
+// happens — the suite is syntactic by design — so a package with files
+// that merely parse is enough to analyze.
+
+// FindModule ascends from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadTree parses every package under root (the module root) whose
+// directory lies inside subtree (absolute; equal to root for "./...").
+// Directories the go tool ignores — testdata, vendor, hidden and
+// underscore-prefixed names — are skipped.
+func LoadTree(root, modulePath, subtree string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !withinDir(subtree, path) {
+			return nil
+		}
+		pkg, err := loadDir(root, modulePath, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses the single package in dir (absolute or relative).
+func LoadDir(root, modulePath, dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadDir(root, modulePath, abs)
+}
+
+func withinDir(parent, child string) bool {
+	rel, err := filepath.Rel(parent, child)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+// loadDir parses dir's .go files into one Package, or nil when the
+// directory holds no Go source.
+func loadDir(root, modulePath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Fset: fset}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		file := &File{AST: f, Name: path, IsTest: strings.HasSuffix(e.Name(), "_test.go")}
+		if !file.IsTest && pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	if pkg.Name == "" { // test-only directory
+		pkg.Name = strings.TrimSuffix(pkg.Files[0].AST.Name.Name, "_test")
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Path = modulePath
+	if rel != "." {
+		pkg.Path = modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return pkg, nil
+}

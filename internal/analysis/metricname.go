@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// MetricName keeps the /metrics exposition consistent with its
+// increment sites. Every sfcpd_* metric family name must be a package
+// constant (string-literal drift between a counter bump and its # TYPE
+// line silently forks a family), each constant must flow through
+// exactly one typeHeader(name, kind) call (one # TYPE line per family),
+// and each must be emitted with a value at least once (a family with a
+// TYPE line and no samples is dead). Two constants spelling the same
+// family name are a collision.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "require sfcpd_* metric names to be constants with one # TYPE line and a sample site",
+	Run:  runMetricName,
+}
+
+// A family name is the sfcpd_ prefix plus a non-empty stem; prose like
+// "sfcpd_*" in documentation strings is not a name.
+var (
+	metricFamilyRE  = regexp.MustCompile(`^sfcpd_[a-z0-9_]*[a-z0-9]$`)
+	metricMentionRE = regexp.MustCompile(`sfcpd_[a-z0-9]`)
+)
+
+func runMetricName(p *Pass) error {
+	type metricConst struct {
+		value    string
+		pos      token.Pos
+		typeUses int
+		refs     int
+	}
+	consts := map[string]*metricConst{}    // const name -> info
+	constLits := map[*ast.BasicLit]bool{}  // literals that *are* the const declarations
+	declIdents := map[*ast.Ident]bool{}    // the declared names themselves
+	typeArgIdents := map[*ast.Ident]bool{} // idents consumed as typeHeader name args
+	var nonTest []*File
+	for _, f := range p.Pkg.Files {
+		if !f.IsTest {
+			nonTest = append(nonTest, f)
+		}
+	}
+
+	// Pass 1: the constant inventory.
+	for _, f := range nonTest {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					val, err := strconv.Unquote(lit.Value)
+					if err != nil || !metricFamilyRE.MatchString(val) {
+						continue
+					}
+					constLits[lit] = true
+					declIdents[name] = true
+					for other, mc := range consts {
+						if mc.value == val {
+							p.Reportf(name.Pos(),
+								"metric constants %s and %s both name family %q", other, name.Name, val)
+						}
+					}
+					consts[name.Name] = &metricConst{value: val, pos: name.Pos()}
+				}
+			}
+		}
+	}
+
+	// Pass 2: literals outside the const block, typeHeader calls, and
+	// remaining references to the constants.
+	for _, f := range nonTest {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind != token.STRING || constLits[n] {
+					return true
+				}
+				if val, err := strconv.Unquote(n.Value); err == nil && metricMentionRE.MatchString(val) {
+					p.Reportf(n.Pos(),
+						"metric family name in string literal %s; use the package constant so increment sites and # TYPE lines cannot drift", n.Value)
+				}
+			case *ast.CallExpr:
+				name := ""
+				switch fun := n.Fun.(type) {
+				case *ast.Ident:
+					name = fun.Name
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				}
+				if name != "typeHeader" || len(n.Args) == 0 {
+					return true
+				}
+				id, ok := n.Args[0].(*ast.Ident)
+				if !ok {
+					if _, isLit := n.Args[0].(*ast.BasicLit); !isLit { // literals are already flagged above
+						p.Reportf(n.Args[0].Pos(), "non-constant metric name in typeHeader call")
+					}
+					return true
+				}
+				if mc, ok := consts[id.Name]; ok {
+					mc.typeUses++
+					typeArgIdents[id] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range nonTest {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || declIdents[id] || typeArgIdents[id] {
+				return true
+			}
+			if mc, ok := consts[id.Name]; ok {
+				mc.refs++
+			}
+			return true
+		})
+	}
+
+	names := make([]string, 0, len(consts))
+	for name := range consts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mc := consts[name]
+		switch {
+		case mc.typeUses == 0:
+			p.Reportf(mc.pos, "metric family %s (%q) has no # TYPE line: add one typeHeader call", name, mc.value)
+		case mc.typeUses > 1:
+			p.Reportf(mc.pos, "metric family %s (%q) has %d # TYPE lines; exposition format allows one per family", name, mc.value, mc.typeUses)
+		}
+		if mc.refs == 0 {
+			p.Reportf(mc.pos, "metric family %s (%q) is never emitted with a value", name, mc.value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Fixture analyzed under the package path "sfcp/internal/jobs":
+// contexts derived from the lifecycle root or a caller are fine.
+package jobs
+
+import (
+	"context"
+	"time"
+)
+
+type manager struct {
+	lifecycle context.Context
+}
+
+func (m *manager) dispatch() {
+	ctx, cancel := context.WithCancel(m.lifecycle)
+	defer cancel()
+	_ = ctx
+}
+
+func handler(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return sub.Err()
+}

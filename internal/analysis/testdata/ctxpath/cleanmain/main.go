@@ -1,0 +1,11 @@
+// Fixture analyzed under the package path "sfcp/cmd/sfcpd": main is
+// the process entry point, the one place a root context is minted.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}

@@ -1,0 +1,40 @@
+// Fixture analyzed under the package path "sfcp/internal/jobs".
+package jobs
+
+import (
+	"context"
+	"net/http"
+)
+
+type manager struct {
+	lifecycle context.Context
+}
+
+// dispatch reproduces the pre-fix jobs.go dispatcher: the running
+// job's context was minted from Background, detaching it from manager
+// shutdown so Close could never cancel an in-flight solve.
+func (m *manager) dispatch() {
+	ctx, cancel := context.WithCancel(context.Background()) // want "context.Background.. in request/job-scoped package"
+	defer cancel()
+	_ = ctx
+}
+
+func handler(ctx context.Context, n int) int {
+	sub := context.TODO() // want "context.TODO.. in request/job-scoped package sfcp/internal/jobs; a caller context is in scope; use it"
+	_ = sub
+	return n
+}
+
+func httpHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "a caller context is in scope; use it"
+	_ = ctx
+}
+
+// newManager mirrors the real lifecycle root: the one sanctioned
+// Background call, annotated with the reason it is exempt.
+func newManager() *manager {
+	//sfcpvet:ignore ctxpath -- fixture: the lifecycle root, cancelled in Close; job contexts derive from it
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	return &manager{lifecycle: ctx}
+}

@@ -1,0 +1,13 @@
+// Fixture analyzed under the package path "sfcp/internal/engine": the
+// dispatch table owner may invoke any solver entry point.
+package engine
+
+import "sfcp/internal/coarsest"
+
+func dispatchRow(in coarsest.Instance) []int {
+	return coarsest.Hopcroft(in)
+}
+
+func anotherRow(in coarsest.Instance, workers int) []int {
+	return coarsest.NativeParallel(in, workers)
+}

@@ -1,0 +1,9 @@
+package other
+
+import "sfcp/internal/coarsest"
+
+// Test files may call solver entry points directly: differential tests
+// compare the solvers against each other.
+func compareForTest(in coarsest.Instance) bool {
+	return coarsest.NumClasses(coarsest.Moore(in)) == coarsest.NumClasses(coarsest.Hopcroft(in))
+}

@@ -1,0 +1,7 @@
+package other
+
+import cp "sfcp/internal/coarsest"
+
+func renamedImport(in cp.Instance) []int {
+	return cp.Moore(in) // want "direct use of cp.Moore"
+}

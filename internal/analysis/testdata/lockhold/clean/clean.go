@@ -1,0 +1,45 @@
+// Fixture analyzed under the package path "sfcp/internal/server":
+// blocking work kept outside the critical section.
+package server
+
+import "sync"
+
+type state struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	n    int
+}
+
+func (s *state) sendOutsideLock(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *state) condWait() {
+	// Waiting on a sync.Cond with its mutex held is the condvar
+	// protocol, not a convoy.
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) closureUnderLock() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The closure runs after the lock is released.
+	return func() { s.ch <- s.n }
+}
+
+func (s *state) distinctMutexes(other *state, v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+	other.mu.Lock()
+	other.n = v
+	other.mu.Unlock()
+}

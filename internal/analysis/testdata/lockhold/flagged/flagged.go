@@ -1,0 +1,55 @@
+// Fixture analyzed under the package path "sfcp/internal/server".
+package server
+
+import (
+	"io"
+	"sync"
+)
+
+type state struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (s *state) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is locked"
+	s.mu.Unlock()
+}
+
+func (s *state) recvUnderDeferredLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while s.mu is locked"
+}
+
+func (s *state) solveUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.solve() // want "solver invocation solve while s.mu is locked"
+}
+
+func (s *state) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "blocking Wait while s.mu is locked"
+	s.mu.Unlock()
+}
+
+func (s *state) writeUnderLock(w io.Writer, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Write(b) // want "I/O call Write while s.mu is locked"
+}
+
+func (s *state) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select while s.mu is locked"
+	case v := <-s.ch: // want "channel receive while s.mu is locked"
+		s.n = v
+	default:
+	}
+}
+
+func (s *state) solve() {}

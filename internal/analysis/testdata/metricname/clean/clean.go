@@ -1,0 +1,25 @@
+// Fixture: every family is a constant with one # TYPE line and at
+// least one sample site; prose mentions of the sfcpd_ prefix alone
+// (as in this comment) are not names.
+package server
+
+import "fmt"
+
+const (
+	metricHitsTotal = "sfcpd_hits_total"
+	metricQueueLen  = "sfcpd_queue_len"
+)
+
+func render() string {
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	emit(typeHeader(metricHitsTotal, "counter"))
+	emit("%s %d\n", metricHitsTotal, 10)
+	emit(typeHeader(metricQueueLen, "gauge"))
+	emit("%s{queue=%q} %d\n", metricQueueLen, "solve", 3)
+	return string(b)
+}
+
+func typeHeader(name, kind string) string { return "# TYPE " + name + " " + kind + "\n" }

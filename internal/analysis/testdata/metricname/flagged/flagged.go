@@ -1,0 +1,36 @@
+// Fixture for the metricname analyzer (the analyzer is not
+// package-scoped; the suite runs it under "sfcp/internal/server").
+package server
+
+import "fmt"
+
+const (
+	metricGoodTotal = "sfcpd_good_total"
+	metricNoType    = "sfcpd_missing_type_total" // want "has no # TYPE line"
+	metricDupType   = "sfcpd_dup_type_total"     // want "has 2 # TYPE lines"
+	metricUnused    = "sfcpd_unused_total"       // want "never emitted with a value"
+	metricCopy      = "sfcpd_good_total"         // want "metric constants metricGoodTotal and metricCopy both name family"
+)
+
+func render() string {
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	emit(typeHeader(metricGoodTotal, "counter"))
+	emit("%s %d\n", metricGoodTotal, 1)
+	emit("%s %d\n", metricNoType, 2)
+	emit(typeHeader(metricDupType, "counter"))
+	emit(typeHeader(metricDupType, "counter"))
+	emit("%s %d\n", metricDupType, 3)
+	emit(typeHeader(metricUnused, "counter"))
+	emit(typeHeader(metricCopy, "counter"))
+	emit("%s %d\n", metricCopy, 4)
+	emit("sfcpd_raw_literal_total 5\n")        // want "metric family name in string literal"
+	emit(typeHeader(dynamicName(), "counter")) // want "non-constant metric name in typeHeader call"
+	return string(b)
+}
+
+func dynamicName() string { return "dynamic" }
+
+func typeHeader(name, kind string) string { return "# TYPE " + name + " " + kind + "\n" }

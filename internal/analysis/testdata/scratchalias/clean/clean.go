@@ -1,0 +1,31 @@
+// Fixture: arena buffers used inside the solve, or copied into fresh
+// allocations before escaping — both fine.
+package coarsest
+
+type scratch struct{ i32 [][]int32 }
+
+func (s *scratch) bufI32(n int) []int32 { return nil }
+
+func copiedBeforeReturn(sc *scratch, n int) []int32 {
+	buf := sc.bufI32(n)
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	out := make([]int32, n)
+	copy(out, buf)
+	return out
+}
+
+func internalUseOnly(sc *scratch, n int) int {
+	buf := sc.bufI32(n)
+	sum := 0
+	for _, v := range buf {
+		sum += int(v)
+	}
+	return sum
+}
+
+func freshAllocationEscapes(n int) []int32 {
+	out := make([]int32, n)
+	return out
+}

@@ -2,6 +2,8 @@
 // has no empirical section, so the "tables and figures" to reproduce are
 // its stated complexity bounds, comparisons with prior algorithms, and
 // worked examples; each experiment turns one claim into a measured table.
+//
+//sfcpvet:ignore-file enginedispatch -- the experiments compare raw solver entry points against each other; routing them through the engine would measure the planner instead of the algorithms
 package bench
 
 import (

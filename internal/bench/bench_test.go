@@ -7,6 +7,9 @@ import (
 )
 
 func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; covered by the non-short test run")
+	}
 	for _, e := range All() {
 		var buf bytes.Buffer
 		e.Run(Config{Out: &buf, Quick: true, Seed: 7})

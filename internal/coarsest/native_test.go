@@ -134,6 +134,9 @@ func TestDoublingEmpty(t *testing.T) {
 }
 
 func TestCostOrderingAcrossAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("asymptotic work-ordering sweep; covered by the non-short test run")
+	}
 	// The paper's Table-of-prior-work claim (intro): JáJá–Ryu work <
 	// Galley–Iliopoulos-shape (n log n) < Srikant-shape (n log^2 n) at
 	// equal O(log n)-ish time. Verify the measured work ordering on a

@@ -179,6 +179,13 @@ type Manager struct {
 	submitted, done, failed, cancelled, evicted int64
 	running                                     int
 
+	// lifecycle is the root context every running job's context derives
+	// from; shutdown cancels it, so closing the manager cancels every
+	// in-flight solve in one stroke — a daemon shutdown never waits on
+	// (or leaks) a minutes-long solve nobody can fetch anymore.
+	lifecycle context.Context
+	shutdown  context.CancelFunc
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -194,6 +201,8 @@ func New(cfg Config, solve SolveFunc) *Manager {
 		stop:   make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	//sfcpvet:ignore ctxpath -- the scheduler's lifecycle root, cancelled in Close; job contexts derive from it
+	m.lifecycle, m.shutdown = context.WithCancel(context.Background())
 	// The queues map is complete before any dispatcher starts: dispatchers
 	// read it under the mutex, but New writes it outside (nothing else can
 	// hold a *Manager yet), so interleaving spawn with population would race.
@@ -229,10 +238,12 @@ func (m *Manager) Close() {
 			m.queued--
 			m.finishLocked(j, StateCancelled, "server shutting down", now)
 		case StateRunning:
+			// Marked here so the dispatcher records the job as cancelled;
+			// the actual cancellation is the lifecycle shutdown below.
 			j.cancelRequested = true
-			j.cancel()
 		}
 	}
+	m.shutdown()
 	close(m.stop)
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -365,7 +376,7 @@ func (m *Manager) dispatch(algo sfcp.Algorithm) {
 		j.state = StateRunning
 		j.started = m.cfg.now()
 		m.running++
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := context.WithCancel(m.lifecycle)
 		j.cancel = cancel
 		m.mu.Unlock()
 

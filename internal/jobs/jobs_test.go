@@ -301,6 +301,36 @@ func TestCloseCancelsEverything(t *testing.T) {
 	}
 }
 
+// TestShutdownCancelsInFlightSolve pins the lifecycle-context contract:
+// a running job's context derives from the scheduler's lifecycle context,
+// so daemon shutdown (Close) cancels the solve itself — the dispatcher is
+// not waiting politely for a minutes-long solve nobody can fetch.
+func TestShutdownCancelsInFlightSolve(t *testing.T) {
+	sawErr := make(chan error, 1)
+	m := New(Config{DispatchersPerAlgorithm: 1}, func(ctx context.Context, algo sfcp.Algorithm, seed *uint64, ins sfcp.Instance) (sfcp.Result, bool, error) {
+		<-ctx.Done() // block until cancelled, like a long cooperative solve
+		sawErr <- ctx.Err()
+		return sfcp.Result{}, false, ctx.Err()
+	})
+	snap, err := m.Submit(sfcp.AlgorithmLinear, nil, 0, tinyInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, snap.ID, StateRunning)
+	m.Close() // returns only after the dispatcher finished the cancelled solve
+	select {
+	case err := <-sawErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("solve context ended with %v, want context.Canceled", err)
+		}
+	default:
+		t.Fatal("Close returned but the in-flight solve never saw its context cancelled")
+	}
+	if s, ok := m.Get(snap.ID); !ok || s.State != StateCancelled {
+		t.Errorf("job after shutdown: ok=%v state=%s, want cancelled", ok, s.State)
+	}
+}
+
 func TestUnknownIDs(t *testing.T) {
 	m := New(Config{}, instantSolve)
 	defer m.Close()

@@ -9,6 +9,36 @@ import (
 	"sfcp/internal/jobs"
 )
 
+// Metric family names. Every sfcpd_* family the server exposes is named
+// exactly once here and referenced by constant everywhere — increment
+// sites, Render, tests — so a family cannot drift into two spellings.
+// The metricname analyzer (cmd/sfcpvet) enforces this: string-literal
+// sfcpd_* names are findings, and each constant must flow through one
+// typeHeader call plus at least one sample line.
+const (
+	metricRequestsTotal      = "sfcpd_requests_total"
+	metricErrorsTotal        = "sfcpd_errors_total"
+	metricCacheHitsTotal     = "sfcpd_cache_hits_total"
+	metricCacheMissesTotal   = "sfcpd_cache_misses_total"
+	metricIngestBytesTotal   = "sfcpd_ingest_bytes_total"
+	metricPlanAlgorithmTotal = "sfcpd_plan_algorithm_total"
+	metricSolvesTotal        = "sfcpd_solves_total"
+	metricSolveErrorsTotal   = "sfcpd_solve_errors_total"
+	metricSolveSecondsSum    = "sfcpd_solve_seconds_sum"
+	metricSolveSecondsMax    = "sfcpd_solve_seconds_max"
+	metricSolveClassesSum    = "sfcpd_solve_classes_sum"
+	metricJobsSubmittedTotal = "sfcpd_jobs_submitted_total"
+	metricJobsFinishedTotal  = "sfcpd_jobs_finished_total"
+	metricJobsEvictedTotal   = "sfcpd_jobs_evicted_total"
+	metricJobsQueued         = "sfcpd_jobs_queued"
+	metricJobsRunning        = "sfcpd_jobs_running"
+)
+
+// typeHeader renders one family's exposition-format type line.
+func typeHeader(name, kind string) string {
+	return "# TYPE " + name + " " + kind + "\n"
+}
+
 // metrics aggregates the counters exposed at /metrics: per-route request
 // and error totals, cache traffic, and per-algorithm solve statistics
 // (count, cumulative latency, max latency). Everything is guarded by one
@@ -107,44 +137,46 @@ func (m *metrics) render() string {
 	emit := func(format string, args ...any) {
 		b = append(b, fmt.Sprintf(format, args...)...)
 	}
-	emit("# TYPE sfcpd_requests_total counter\n")
+	emit(typeHeader(metricRequestsTotal, "counter"))
 	for _, route := range sortedKeys(m.requests) {
-		emit("sfcpd_requests_total{route=%q} %d\n", route, m.requests[route])
+		emit("%s{route=%q} %d\n", metricRequestsTotal, route, m.requests[route])
 	}
-	emit("# TYPE sfcpd_errors_total counter\n")
+	emit(typeHeader(metricErrorsTotal, "counter"))
 	for _, route := range sortedKeys(m.errors) {
-		emit("sfcpd_errors_total{route=%q} %d\n", route, m.errors[route])
+		emit("%s{route=%q} %d\n", metricErrorsTotal, route, m.errors[route])
 	}
-	emit("# TYPE sfcpd_cache_hits_total counter\nsfcpd_cache_hits_total %d\n", m.cacheHits)
-	emit("# TYPE sfcpd_cache_misses_total counter\nsfcpd_cache_misses_total %d\n", m.cacheMiss)
-	emit("# TYPE sfcpd_ingest_bytes_total counter\n")
+	emit(typeHeader(metricCacheHitsTotal, "counter"))
+	emit("%s %d\n", metricCacheHitsTotal, m.cacheHits)
+	emit(typeHeader(metricCacheMissesTotal, "counter"))
+	emit("%s %d\n", metricCacheMissesTotal, m.cacheMiss)
+	emit(typeHeader(metricIngestBytesTotal, "counter"))
 	for _, format := range sortedKeys(m.ingested) {
-		emit("sfcpd_ingest_bytes_total{format=%q} %d\n", format, m.ingested[format])
+		emit("%s{format=%q} %d\n", metricIngestBytesTotal, format, m.ingested[format])
 	}
-	emit("# TYPE sfcpd_plan_algorithm_total counter\n")
+	emit(typeHeader(metricPlanAlgorithmTotal, "counter"))
 	for _, algo := range sortedKeys(m.plans) {
-		emit("sfcpd_plan_algorithm_total{algorithm=%q} %d\n", algo, m.plans[algo])
+		emit("%s{algorithm=%q} %d\n", metricPlanAlgorithmTotal, algo, m.plans[algo])
 	}
-	emit("# TYPE sfcpd_solves_total counter\n")
+	emit(typeHeader(metricSolvesTotal, "counter"))
 	for _, algo := range sortedKeys(m.solves) {
 		s := m.solves[algo]
-		emit("sfcpd_solves_total{algorithm=%q} %d\n", algo, s.count)
+		emit("%s{algorithm=%q} %d\n", metricSolvesTotal, algo, s.count)
 	}
-	emit("# TYPE sfcpd_solve_errors_total counter\n")
+	emit(typeHeader(metricSolveErrorsTotal, "counter"))
 	for _, algo := range sortedKeys(m.solves) {
-		emit("sfcpd_solve_errors_total{algorithm=%q} %d\n", algo, m.solves[algo].errors)
+		emit("%s{algorithm=%q} %d\n", metricSolveErrorsTotal, algo, m.solves[algo].errors)
 	}
-	emit("# TYPE sfcpd_solve_seconds_sum counter\n")
+	emit(typeHeader(metricSolveSecondsSum, "counter"))
 	for _, algo := range sortedKeys(m.solves) {
-		emit("sfcpd_solve_seconds_sum{algorithm=%q} %g\n", algo, m.solves[algo].total.Seconds())
+		emit("%s{algorithm=%q} %g\n", metricSolveSecondsSum, algo, m.solves[algo].total.Seconds())
 	}
-	emit("# TYPE sfcpd_solve_seconds_max gauge\n")
+	emit(typeHeader(metricSolveSecondsMax, "gauge"))
 	for _, algo := range sortedKeys(m.solves) {
-		emit("sfcpd_solve_seconds_max{algorithm=%q} %g\n", algo, m.solves[algo].max.Seconds())
+		emit("%s{algorithm=%q} %g\n", metricSolveSecondsMax, algo, m.solves[algo].max.Seconds())
 	}
-	emit("# TYPE sfcpd_solve_classes_sum counter\n")
+	emit(typeHeader(metricSolveClassesSum, "counter"))
 	for _, algo := range sortedKeys(m.solves) {
-		emit("sfcpd_solve_classes_sum{algorithm=%q} %d\n", algo, m.solves[algo].classes)
+		emit("%s{algorithm=%q} %d\n", metricSolveClassesSum, algo, m.solves[algo].classes)
 	}
 	return string(b)
 }
@@ -157,14 +189,18 @@ func renderJobs(c jobs.Counts) string {
 	emit := func(format string, args ...any) {
 		b = append(b, fmt.Sprintf(format, args...)...)
 	}
-	emit("# TYPE sfcpd_jobs_submitted_total counter\nsfcpd_jobs_submitted_total %d\n", c.Submitted)
-	emit("# TYPE sfcpd_jobs_finished_total counter\n")
-	emit("sfcpd_jobs_finished_total{state=%q} %d\n", jobs.StateDone, c.Done)
-	emit("sfcpd_jobs_finished_total{state=%q} %d\n", jobs.StateFailed, c.Failed)
-	emit("sfcpd_jobs_finished_total{state=%q} %d\n", jobs.StateCancelled, c.Cancelled)
-	emit("# TYPE sfcpd_jobs_evicted_total counter\nsfcpd_jobs_evicted_total %d\n", c.Evicted)
-	emit("# TYPE sfcpd_jobs_queued gauge\nsfcpd_jobs_queued %d\n", c.Queued)
-	emit("# TYPE sfcpd_jobs_running gauge\nsfcpd_jobs_running %d\n", c.Running)
+	emit(typeHeader(metricJobsSubmittedTotal, "counter"))
+	emit("%s %d\n", metricJobsSubmittedTotal, c.Submitted)
+	emit(typeHeader(metricJobsFinishedTotal, "counter"))
+	emit("%s{state=%q} %d\n", metricJobsFinishedTotal, jobs.StateDone, c.Done)
+	emit("%s{state=%q} %d\n", metricJobsFinishedTotal, jobs.StateFailed, c.Failed)
+	emit("%s{state=%q} %d\n", metricJobsFinishedTotal, jobs.StateCancelled, c.Cancelled)
+	emit(typeHeader(metricJobsEvictedTotal, "counter"))
+	emit("%s %d\n", metricJobsEvictedTotal, c.Evicted)
+	emit(typeHeader(metricJobsQueued, "gauge"))
+	emit("%s %d\n", metricJobsQueued, c.Queued)
+	emit(typeHeader(metricJobsRunning, "gauge"))
+	emit("%s %d\n", metricJobsRunning, c.Running)
 	return string(b)
 }
 

@@ -114,7 +114,11 @@ func TestSolveBatchEmptyAndInvalid(t *testing.T) {
 func TestSolveContextCancellation(t *testing.T) {
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	big := wl(workload.RandomFunction(7, 5000, 3))
+	n := 5000
+	if testing.Short() {
+		n = 1500 // the full size is slow under -race; semantics are size-independent
+	}
+	big := wl(workload.RandomFunction(7, n, 3))
 	for _, algo := range []sfcp.Algorithm{
 		sfcp.AlgorithmNativeParallel, sfcp.AlgorithmParallelPRAM,
 		sfcp.AlgorithmDoublingHash, sfcp.AlgorithmDoublingSort,
