@@ -27,6 +27,13 @@
 //	sfcpd [-addr :8080] [-pool-workers 2] [-queue 8] [-cache 1024]
 //	      [-max-n 1048576] [-max-batch 256] [-workers 0] [-seed 0]
 //	      [-job-ttl 10m] [-job-queue 1024]
+//	      [-batch-wait 1ms] [-batch-size 64] [-batch-max-n 32767]
+//
+// Small solves (auto or linear requests up to -batch-max-n elements) are
+// coalesced: concurrent requests accumulate for up to -batch-wait or
+// -batch-size members and solve as one planned micro-batch under a shared
+// scratch arena. Responses report "coalesced", "flush_reason" and
+// "queue_ms"; a negative -batch-wait disables coalescing.
 package main
 
 import (
@@ -57,6 +64,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 	maxBody := fs.Int64("max-body", 64<<20, "largest accepted request body in bytes")
 	jobTTL := fs.Duration("job-ttl", 10*time.Minute, "how long finished async jobs are retained")
 	jobQueue := fs.Int("job-queue", 1024, "largest accepted async job backlog")
+	batchWait := fs.Duration("batch-wait", 0, "max coalescing wait for small solves (0 = 1ms default, negative disables)")
+	batchSize := fs.Int("batch-size", 0, "coalescing micro-batch flush size (0 = 64 default)")
+	batchMaxN := fs.Int("batch-max-n", 0, "largest instance eligible for coalescing (0 = planner's linear-crossover default)")
 	if err := fs.Parse(args); err != nil {
 		return "", server.Config{}, err
 	}
@@ -71,6 +81,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 		MaxBodyBytes:        *maxBody,
 		JobTTL:              *jobTTL,
 		JobMaxQueued:        *jobQueue,
+		BatchMaxWait:        *batchWait,
+		BatchMaxSize:        *batchSize,
+		BatchMaxN:           *batchMaxN,
 	}, nil
 }
 

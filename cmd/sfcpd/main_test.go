@@ -29,7 +29,8 @@ func TestParseFlags(t *testing.T) {
 		}
 		if cfg.WorkersPerAlgorithm != 2 || cfg.CacheSize != 1024 || cfg.MaxN != 1<<20 ||
 			cfg.MaxBatch != 256 || cfg.MaxBodyBytes != 64<<20 || cfg.QueueDepth != 0 ||
-			cfg.JobTTL != 10*time.Minute || cfg.JobMaxQueued != 1024 {
+			cfg.JobTTL != 10*time.Minute || cfg.JobMaxQueued != 1024 ||
+			cfg.BatchMaxWait != 0 || cfg.BatchMaxSize != 0 || cfg.BatchMaxN != 0 {
 			t.Errorf("defaults mis-mapped: %+v", cfg)
 		}
 	})
@@ -38,6 +39,7 @@ func TestParseFlags(t *testing.T) {
 			"-addr", ":9999", "-pool-workers", "5", "-queue", "7", "-cache", "-1",
 			"-max-n", "50", "-max-batch", "3", "-workers", "4", "-seed", "11",
 			"-max-body", "1024", "-job-ttl", "90s", "-job-queue", "17",
+			"-batch-wait", "250us", "-batch-size", "32", "-batch-max-n", "2048",
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -46,6 +48,7 @@ func TestParseFlags(t *testing.T) {
 			WorkersPerAlgorithm: 5, QueueDepth: 7, CacheSize: -1, MaxN: 50,
 			MaxBatch: 3, Workers: 4, Seed: 11, MaxBodyBytes: 1024,
 			JobTTL: 90 * time.Second, JobMaxQueued: 17,
+			BatchMaxWait: 250 * time.Microsecond, BatchMaxSize: 32, BatchMaxN: 2048,
 		}
 		if addr != ":9999" || cfg != want {
 			t.Errorf("got addr=%q cfg=%+v, want addr=\":9999\" cfg=%+v", addr, cfg, want)

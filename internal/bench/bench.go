@@ -9,15 +9,20 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/bits"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
+	"sfcp"
+	"sfcp/internal/batcher"
 	"sfcp/internal/circ"
 	"sfcp/internal/coarsest"
 	"sfcp/internal/engine"
@@ -63,6 +68,7 @@ func All() []Experiment {
 		{"A2", "Ablation: list ranking methods", A2ListRank},
 		{"A3", "Ablation: m.s.p. recursion cutoff", A3Cutoff},
 		{"A4", "Planner crossover: auto vs forced algorithms (JSON)", A4PlannerCrossover},
+		{"A5", "Coalescing front door: micro-batched vs per-request small solves (JSON)", A5Coalescing},
 	}
 }
 
@@ -693,6 +699,306 @@ func A4PlannerCrossover(cfg Config) {
 			}
 			doc.Rows = append(doc.Rows, r)
 		}
+	}
+	enc := json.NewEncoder(cfg.Out)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// a5Pool is a faithful miniature of sfcpd's per-request dispatch path
+// (internal/server pool.go at its defaults: 2 workers on the linear
+// queue, queue depth 8): a task allocation with a buffered result
+// channel, a bounded queue send, a worker wakeup, and a result receive
+// per request. The uncoalesced arm routes through it so the baseline
+// pays exactly the dispatch glue the production pool path pays — no
+// more (HTTP and caching are stripped from both arms), no less.
+type a5Pool struct {
+	q    chan *a5Task
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type a5Task struct {
+	ctx  context.Context
+	run  func() ([]int, error)
+	resC chan a5TaskResult
+}
+
+type a5TaskResult struct {
+	labels []int
+	err    error
+}
+
+func newA5Pool(workers, depth int) *a5Pool {
+	p := &a5Pool{q: make(chan *a5Task, depth), done: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.done:
+					return
+				case t := <-p.q:
+					if err := t.ctx.Err(); err != nil {
+						t.resC <- a5TaskResult{err: err}
+						continue
+					}
+					labels, err := t.run()
+					t.resC <- a5TaskResult{labels: labels, err: err}
+				}
+			}
+		}()
+	}
+	return p
+}
+
+func (p *a5Pool) submit(ctx context.Context, run func() ([]int, error)) ([]int, error) {
+	t := &a5Task{ctx: ctx, run: run, resC: make(chan a5TaskResult, 1)}
+	select {
+	case p.q <- t:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.done:
+		return nil, errors.New("bench: pool shut down")
+	}
+	select {
+	case r := <-t.resC:
+		return r.labels, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.done:
+		return nil, errors.New("bench: pool shut down")
+	}
+}
+
+func (p *a5Pool) close() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+// A5Coalescing measures the coalescing micro-batch front door against
+// per-request handling on its target regime: many concurrent small solves
+// (well under engine.MinParallelN, so every plan lands on the sequential
+// linear solver). The per-request arm pays what sfcpd's pool path pays
+// per request — the planner's feature probe, plan construction, bounded
+// worker-pool dispatch, and a scratch checkout; the coalesced arm
+// accumulates requests in internal/batcher, plans each flushed batch
+// once (no probes) and solves its members back-to-back under one shared
+// scratch arena. Emits one JSON document (like A4) for BENCH_*.json
+// trajectory tracking.
+func A5Coalescing(cfg Config) {
+	type row struct {
+		N             int     `json:"n"`
+		Requests      int     `json:"requests"`
+		Concurrency   int     `json:"concurrency"`
+		Distinct      int     `json:"distinct_instances"`
+		UncoalescedNS int64   `json:"uncoalesced_ns"`
+		CoalescedNS   int64   `json:"coalesced_ns"`
+		Speedup       float64 `json:"speedup"`
+		Flushes       int64   `json:"flushes"`
+		AvgBatch      float64 `json:"avg_batch"`
+		Agree         bool    `json:"agree"`
+	}
+	doc := struct {
+		Experiment  string `json:"experiment"`
+		Title       string `json:"title"`
+		GOMAXPROCS  int    `json:"gomaxprocs"`
+		MaxWaitUS   int64  `json:"batch_max_wait_us"`
+		MaxSize     int    `json:"batch_max_size"`
+		Concurrency int    `json:"concurrency"`
+		Rows        []row  `json:"rows"`
+	}{
+		Experiment:  "A5",
+		Title:       "coalescing front door: micro-batched vs per-request small solves",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		MaxWaitUS:   1000,
+		MaxSize:     64,
+		Concurrency: 64,
+	}
+	requests := 10000
+	if cfg.Quick {
+		requests = 2000
+	}
+	ctx := context.Background()
+
+	for _, n := range sizes(cfg, []int{16, 64, 256, 1024}, []int{16, 64}) {
+		// A fixed pool of distinct instances keeps workload-generation out
+		// of the timed region without letting one memoizable instance
+		// dominate; neither arm caches, so reuse does not flatter either.
+		distinct := 256
+		if distinct > requests {
+			distinct = requests
+		}
+		pool := make([]sfcp.Instance, distinct)
+		want := make([][]int, distinct)
+		for i := range pool {
+			wl := workload.RandomFunction(cfg.Seed+int64(n)+int64(i), n, 3)
+			pool[i] = sfcp.Instance{F: wl.F, B: wl.B}
+			want[i] = coarsest.LinearSequential(coarsest.Instance{F: wl.F, B: wl.B})
+		}
+
+		// The in-loop check is exact slice equality, not SamePartition:
+		// both arms resolve to the same canonical linear rename, and a
+		// map-based equivalence check would add identical constant work to
+		// both timed loops, squeezing the measured ratio toward 1.
+		run := func(handle func(i int) ([]int, error)) (time.Duration, bool) {
+			var wg sync.WaitGroup
+			var agree atomic.Bool
+			agree.Store(true)
+			per := requests / doc.Concurrency
+			t0 := time.Now()
+			for c := 0; c < doc.Concurrency; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						i := c*per + j
+						labels, err := handle(i)
+						if err != nil || !intSlicesEqual(labels, want[i%distinct]) {
+							agree.Store(false)
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			return time.Since(t0), agree.Load()
+		}
+
+		// Per-request arm: probe + plan on the caller, then bounded
+		// worker-pool dispatch and a scratch checkout — the pool path's
+		// per-request work with HTTP and caching stripped away (dispatch
+		// sizing mirrors the server defaults: 2 workers, queue depth 8).
+		perReq := sfcp.NewSolver(sfcp.Options{})
+		reqPool := newA5Pool(2, 8)
+		uncoHandle := func(i int) ([]int, error) {
+			ins := pool[i%distinct]
+			// The pool path reads the clock around both planning and
+			// dispatch (the queue-vs-solve latency split every response
+			// carries); the baseline pays the same two pairs per request.
+			planStart := time.Now()
+			plan, err := sfcp.PlanWith(ins, sfcp.Options{Algorithm: sfcp.AlgorithmAuto})
+			planDur := time.Since(planStart)
+			if err != nil {
+				return nil, err
+			}
+			solveStart := time.Now()
+			labels, err := reqPool.submit(ctx, func() ([]int, error) {
+				res, err := perReq.SolvePlanned(ctx, ins, plan)
+				if err != nil {
+					return nil, err
+				}
+				res.Timings.Plan = planDur
+				return res.Labels, nil
+			})
+			if time.Since(solveStart) < 0 {
+				return nil, errors.New("bench: clock went backwards")
+			}
+			return labels, err
+		}
+
+		// Coalesced arm: the same traffic through the micro-batcher; one
+		// batch plan (no probes) and one scratch arena per flush. The
+		// instance staging is reused across flushes, like the server's.
+		var flushes, members int64
+		coSolver := sfcp.NewSolver(sfcp.Options{})
+		var coStaging sync.Pool // *[]sfcp.Instance; flush slots run concurrently
+		b := batcher.New(ctx, batcher.Config{
+			MaxWait: time.Duration(doc.MaxWaitUS) * time.Microsecond,
+			MaxSize: doc.MaxSize,
+			Run: func(ctx context.Context, ms []batcher.Member, out []batcher.MemberResult) {
+				ip, _ := coStaging.Get().(*[]sfcp.Instance)
+				if ip == nil {
+					ip = new([]sfcp.Instance)
+				}
+				instances := (*ip)[:0]
+				for _, m := range ms {
+					instances = append(instances, m.Ins)
+				}
+				defer func() {
+					clear(instances)
+					*ip = instances[:0]
+					coStaging.Put(ip)
+				}()
+				plan, err := sfcp.PlanBatch(instances, sfcp.Options{Algorithm: sfcp.AlgorithmAuto})
+				if err != nil {
+					for i := range out {
+						out[i].Err = err
+					}
+					return
+				}
+				results, errs := coSolver.SolveBatchPlanned(ctx, instances, plan)
+				for i := range out {
+					out[i].Res, out[i].Err = results[i], errs[i]
+				}
+			},
+			Observe: func(reason string, n int, wait time.Duration) {
+				atomic.AddInt64(&flushes, 1)
+				atomic.AddInt64(&members, int64(n))
+			},
+		})
+		coHandle := func(i int) ([]int, error) {
+			out, err := b.Submit(ctx, pool[i%distinct], "")
+			return out.Res.Labels, err
+		}
+
+		// Both arms repeat, pass-interleaved, and report their fastest
+		// pass: min-of-reps sheds scheduler noise (one pass of 64 clients
+		// over tiny solves is only milliseconds of work, well inside OS
+		// jitter), and alternating the arms keeps a slow drift in machine
+		// load from landing entirely on one side of the ratio. The GC runs
+		// between passes so one pass's garbage never triggers a collection
+		// inside the next one's timed region.
+		reps := 9
+		if cfg.Quick {
+			reps = 3
+		}
+		uncoalesced, coalesced := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		okU, okC := true, true
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			d, o := run(uncoHandle)
+			if d < uncoalesced {
+				uncoalesced = d
+			}
+			okU = okU && o
+			runtime.GC()
+			d, o = run(coHandle)
+			if d < coalesced {
+				coalesced = d
+			}
+			okC = okC && o
+		}
+		reqPool.close()
+		b.Close()
+
+		r := row{
+			N:             n,
+			Requests:      requests,
+			Concurrency:   doc.Concurrency,
+			Distinct:      distinct,
+			UncoalescedNS: int64(uncoalesced),
+			CoalescedNS:   int64(coalesced),
+			Speedup:       float64(uncoalesced) / float64(coalesced),
+			Flushes:       flushes,
+			Agree:         okU && okC,
+		}
+		if flushes > 0 {
+			r.AvgBatch = float64(members) / float64(flushes)
+		}
+		doc.Rows = append(doc.Rows, r)
 	}
 	enc := json.NewEncoder(cfg.Out)
 	enc.SetIndent("", "  ")

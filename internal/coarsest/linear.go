@@ -19,93 +19,294 @@ import (
 //  4. label the remaining forest top-down by (B-label, parent Q-label)
 //     pair codes (Lemma 4.2).
 func LinearSequential(ins Instance) []int {
-	n := len(ins.F)
-	if n == 0 {
+	return LinearSequentialScratch(ins, nil)
+}
+
+// LinearSequentialScratch is LinearSequential with caller-provided scratch
+// buffers; sc may be nil (a fresh arena is used). All O(n) working vectors
+// come from sc and every per-node coding step is array indexing, so
+// coalesced batches of small instances solved back-to-back under one arena
+// skip nearly all per-call allocation. Only the returned labels escape.
+func LinearSequentialScratch(ins Instance, sc *Scratch) []int {
+	if len(ins.F) == 0 {
 		return []int{}
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.reset()
+	raw, codes := linearSequentialRaw(ins, sc)
+	// Canonical first-occurrence rename. Raw codes can reach 2n-1, so a
+	// codes-bounded scratch table is used instead of NormalizeLabels
+	// (whose dense path requires labels < n).
+	out := make([]int, len(raw))
+	ids := sc.bufInt(codes)
+	next := 0
+	for i, c := range raw {
+		id := ids[c]
+		if id == 0 {
+			next++
+			id = next
+			ids[c] = id
+		}
+		out[i] = id - 1
+	}
+	return out
+}
+
+// LinearSequentialBatch solves every member back-to-back under one shared
+// scratch arena, so a coalesced batch of k tiny solves pays for one arena
+// instead of k and the only per-member allocation is its slice of a single
+// shared label slab. Each entry of the result is identical to
+// LinearSequential of that member alone; classes[i] is its class count (a
+// byproduct of the canonical rename, saving callers a NumClasses pass).
+// sc may be nil (a fresh arena is used). This is the execution half of
+// request coalescing.
+func LinearSequentialBatch(members []Instance, sc *Scratch) (out [][]int, classes []int) {
+	out = make([][]int, len(members))
+	classes = make([]int, len(members))
+	totalN := 0
+	for _, m := range members {
+		totalN += len(m.F)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	slab := make([]int, totalN)
+	for i, m := range members {
+		n := len(m.F)
+		if n == 0 {
+			out[i] = []int{}
+			continue
+		}
+		sc.reset()
+		raw, codes := linearSequentialRaw(m, sc)
+		labels := slab[:n:n]
+		slab = slab[n:]
+		ids := sc.bufInt(codes)
+		next := 0
+		for j, c := range raw {
+			id := ids[c]
+			if id == 0 {
+				next++
+				id = next
+				ids[c] = id
+			}
+			labels[j] = id - 1
+		}
+		out[i] = labels
+		classes[i] = next
+	}
+	return out, classes
+}
+
+// mooreCutoff gates the tiny-instance fast path: below it, plain Moore
+// refinement beats the linear algorithm because the cycle/tree machinery
+// costs several full passes of per-call constant that dwarf n itself.
+const mooreCutoff = 64
+
+// mooreMaxRounds bounds the fast path's refinement rounds. Random
+// instances converge in O(depth) rounds; adversarial chains need up to n,
+// and past this cap the caller falls back to the O(n) algorithm rather
+// than pay quadratic rounds.
+const mooreMaxRounds = 32
+
+// mooreSmall computes the coarsest partition of a tiny instance by plain
+// Moore refinement: start from the B-partition and split by successor
+// class until stable. Each round is three passes of pure array indexing —
+// no hashing, no cycle canonicalization — so for n below mooreCutoff it
+// undercuts the linear algorithm's per-call constants by several times.
+// Splitting is monotone, so a round that does not grow the class count
+// changed nothing and the partition is stable — the classic Moore
+// argument, and stability from B gives exactly the partition the linear
+// algorithm computes. Returns ok=false (caller falls back) when B is too
+// sparse for the dense rename table or refinement outruns mooreMaxRounds.
+//
+// Pair renaming goes through sc.pairArr, which must stay all-zero between
+// solves; every round's touched slots are undone, including on bailout.
+func mooreSmall(ins Instance, sc *Scratch) (rawLabels []int, codes int, ok bool) {
+	n := len(ins.F)
 	f, b := ins.F, ins.B
 
+	// Initial rename of B through a dense table (first occurrence order).
+	maxB := 0
+	for _, v := range b {
+		if v > maxB {
+			maxB = v
+		}
+	}
+	if maxB >= 4*n {
+		return nil, 0, false
+	}
+	tbl := sc.bufInt(maxB + 1)
+	lab := sc.bufIntRaw(n)
+	next := sc.bufIntRaw(n)
+	L := 0
+	for x, v := range b {
+		id := tbl[v]
+		if id == 0 {
+			L++
+			id = L
+			tbl[v] = id
+		}
+		lab[x] = id - 1
+	}
+
+	if cap(sc.pairArr) < n*n {
+		sc.pairArr = make([]int, n*n)
+	}
+	pairArr := sc.pairArr[:n*n]
+	for round := 0; round < mooreMaxRounds; round++ {
+		touched := sc.pairTouched[:0]
+		newL := 0
+		for x := 0; x < n; x++ {
+			idx := lab[x]*n + lab[f[x]]
+			id := pairArr[idx]
+			if id == 0 {
+				newL++
+				id = newL
+				pairArr[idx] = id
+				touched = append(touched, idx)
+			}
+			next[x] = id - 1
+		}
+		for _, idx := range touched {
+			pairArr[idx] = 0
+		}
+		sc.pairTouched = touched[:0]
+		lab, next = next, lab
+		if newL == L {
+			return lab, L, true
+		}
+		L = newL
+	}
+	return nil, 0, false
+}
+
+// linearSequentialRaw runs the linear-time algorithm on a non-empty
+// instance and returns scratch-backed provisional labels (dense codes in
+// [0, codes), not yet normalized). The caller owns resetting sc.
+//
+// Instances below mooreCutoff take the Moore-refinement fast path first;
+// the full algorithm is the fallback (and the only path at scale).
+//
+// Coding is array-backed throughout: the only hashing left is one
+// canonical-string lookup per distinct cycle, plus map fallbacks for
+// pathologically label-rich B. The array coders rely on codes < 2n —
+// cycle codes ≤ #cycle nodes (each consumes a reserved (class, offset)
+// slot), anchor codes ≤ cycle codes, and pair codes ≤ #unmarked tree
+// nodes, so their sum is at most 2·#cycle nodes + #unmarked ≤ 2n.
+func linearSequentialRaw(ins Instance, sc *Scratch) (rawLabels []int, codes int) {
+	n := len(ins.F)
+	f, b := ins.F, ins.B
+
+	if n <= mooreCutoff {
+		if labels, codes, ok := mooreSmall(ins, sc); ok {
+			return labels, codes
+		}
+		// Discard the fast path's scratch checkouts; the full algorithm
+		// re-checks out from index zero (bufInt re-zeroes on grab, and
+		// pairArr's zero invariant was restored above).
+		sc.reset()
+	}
+
 	// Step 1: cycle detection with visit stamps.
-	state := make([]int8, n) // 0 unvisited, 1 in progress, 2 done
-	onCycle := make([]bool, n)
+	state := sc.bufI8(n) // 0 unvisited, 1 in progress, 2 done
+	onCycle := sc.bufBool(n)
+	path := sc.bufIntRaw(n)
 	for s := 0; s < n; s++ {
 		if state[s] != 0 {
 			continue
 		}
-		var path []int
+		np := 0
 		x := s
 		for state[x] == 0 {
 			state[x] = 1
-			path = append(path, x)
+			path[np] = x
+			np++
 			x = f[x]
 		}
 		if state[x] == 1 {
-			for i := len(path) - 1; i >= 0; i-- {
+			for i := np - 1; i >= 0; i-- {
 				onCycle[path[i]] = true
 				if path[i] == x {
 					break
 				}
 			}
 		}
-		for _, y := range path {
+		for _, y := range path[:np] {
 			state[y] = 2
 		}
 	}
 
-	// Step 2: canonical form per cycle; Q-keys for cycle nodes.
-	// labels[x] holds a provisional dense Q-code.
-	const unset = -1
-	labels := make([]int, n)
-	for i := range labels {
-		labels[i] = unset
+	// Step 2: canonical form per cycle; Q-codes for cycle nodes.
+	// labels[x] holds a provisional dense Q-code. Each canonical class
+	// reserves period consecutive slots in codeArr (total reserved ≤ n),
+	// so the (class, offset) -> code lookup is one array index.
+	labels := sc.bufIntRaw(n)
+	if sc.canonCls == nil {
+		sc.canonCls = make(map[string]int)
 	}
-	type cycleKey struct {
-		class, offset int
-	}
-	classOfCanon := map[string]int{}
-	cycleCodes := map[cycleKey]int{}
+	classBase := sc.bufIntRaw(n) // class -> first slot in codeArr
+	codeArr := sc.bufInt(n)   // slot -> code+1 (0 = unassigned)
+	reserved := 0
 	nextCode := 0
-	newCode := func() int { nextCode++; return nextCode - 1 }
 
-	cycleSeen := make([]bool, n)
+	cycleSeen := sc.bufBool(n)
 	// cycleInfo per node for the tree phase.
-	cycleOf := make([]int, n)  // leader node of x's cycle (cycle nodes only)
-	rankOf := make([]int, n)   // rank of x within its cycle from the leader
-	cycleLen := make([]int, n) // full cycle length
-	cycleCls := make([]int, n) // canonical class of the cycle (by leader)
-	cycleOff := make([]int, n) // canonical offset shift: Q-offset(x) = (rankOf[x]-msp) mod period
-	cyclePer := make([]int, n) // period of the cycle's B-string
-	cycNodes := map[int][]int{}
+	cycleOf := sc.bufIntRaw(n)  // leader node of x's cycle (cycle nodes only)
+	rankOf := sc.bufIntRaw(n)   // rank of x within its cycle from the leader
+	cycleLen := sc.bufIntRaw(n) // full cycle length
+	cycleCls := sc.bufIntRaw(n) // canonical class of the cycle
+	cycleOff := sc.bufIntRaw(n) // canonical offset shift: Q-offset(x) = (rankOf[x]-msp) mod period
+	cyclePer := sc.bufIntRaw(n) // period of the cycle's B-string
+	cycSeq := sc.bufIntRaw(n)   // all cycles' nodes, concatenated in rank order
+	cycStart := sc.bufIntRaw(n) // leader -> start of its run in cycSeq
+	bsBuf := sc.bufIntRaw(n)
+	nseq := 0
+	key := sc.key[:0]
 
 	for s := 0; s < n; s++ {
 		if !onCycle[s] || cycleSeen[s] {
 			continue
 		}
-		var cyc []int
+		start := nseq
 		x := s
 		for !cycleSeen[x] {
 			cycleSeen[x] = true
-			cyc = append(cyc, x)
+			cycSeq[nseq] = x
+			nseq++
 			x = f[x]
 		}
-		cycNodes[s] = cyc
-		bs := make([]int, len(cyc))
+		cyc := cycSeq[start:nseq]
+		cycStart[s] = start
+		bs := bsBuf[:len(cyc)]
 		for i, y := range cyc {
 			bs[i] = b[y]
 		}
 		p := circ.SmallestRepeatingPrefix(bs)
 		prefix := bs[:p]
 		msp := circ.BoothMSP(prefix)
-		canon := make([]int, p)
+		// Varint-encode the rotated prefix straight into the reusable key
+		// buffer; the map lookup on string(key) does not allocate, and a
+		// string is materialized only when the class is new.
+		key = key[:0]
 		for i := 0; i < p; i++ {
-			canon[i] = prefix[(msp+i)%p]
+			v := prefix[(msp+i)%p]
+			for v >= 0x80 {
+				key = append(key, byte(v)|0x80)
+				v >>= 7
+			}
+			key = append(key, byte(v), 0xff)
 		}
-		key := intsKey(canon)
-		cls, ok := classOfCanon[key]
+		cls, ok := sc.canonCls[string(key)]
 		if !ok {
-			cls = len(classOfCanon)
-			classOfCanon[key] = cls
+			cls = len(sc.canonCls)
+			sc.canonCls[string(key)] = cls
+			classBase[cls] = reserved
+			reserved += p
 		}
+		base := classBase[cls]
 		for i, y := range cyc {
 			cycleOf[y] = s
 			rankOf[y] = i
@@ -114,28 +315,29 @@ func LinearSequential(ins Instance) []int {
 			cyclePer[y] = p
 			cycleOff[y] = msp
 			off := ((i-msp)%p + p) % p
-			ck := cycleKey{cls, off}
-			code, ok := cycleCodes[ck]
-			if !ok {
-				code = newCode()
-				cycleCodes[ck] = code
+			code := codeArr[base+off]
+			if code == 0 {
+				nextCode++
+				code = nextCode
+				codeArr[base+off] = code
 			}
-			labels[y] = code
+			labels[y] = code - 1
 		}
 	}
+	sc.key = key // keep the grown buffer for the next solve
 
-	// Order tree nodes by level (counting sort on level). Levels are
-	// computed iteratively (deep paths would overflow a recursion stack):
-	// walk up to the first resolved ancestor, then unwind.
-	level := make([]int, n)
-	root := make([]int, n)
+	// Order tree nodes by level. Levels are computed iteratively (deep
+	// paths would overflow a recursion stack): walk up to the first
+	// resolved ancestor, then unwind. The step-1 path buffer is reused.
+	level := sc.bufInt(n)
+	root := sc.bufIntRaw(n)
 	maxLevel := 0
-	var stack []int
 	for s := 0; s < n; s++ {
 		x := s
-		stack = stack[:0]
+		np := 0
 		for !onCycle[x] && level[x] == 0 {
-			stack = append(stack, x)
+			path[np] = x
+			np++
 			x = f[x]
 		}
 		base, r := level[x], x
@@ -144,10 +346,10 @@ func LinearSequential(ins Instance) []int {
 		} else {
 			r = root[x]
 		}
-		for i := len(stack) - 1; i >= 0; i-- {
+		for i := np - 1; i >= 0; i-- {
 			base++
-			level[stack[i]] = base
-			root[stack[i]] = r
+			level[path[i]] = base
+			root[path[i]] = r
 			if base > maxLevel {
 				maxLevel = base
 			}
@@ -156,74 +358,186 @@ func LinearSequential(ins Instance) []int {
 			root[s] = s
 		}
 	}
-	byLevel := make([][]int, maxLevel+1)
+	// Counting sort on level replaces per-level append slices: order holds
+	// the tree nodes grouped by ascending level, starts[l] the first index
+	// of level l's run.
+	cnt := sc.bufInt(maxLevel + 2)
+	nTree := 0
 	for x := 0; x < n; x++ {
 		if !onCycle[x] {
-			byLevel[level[x]] = append(byLevel[level[x]], x)
+			cnt[level[x]]++
+			nTree++
+		}
+	}
+	starts := sc.bufIntRaw(maxLevel + 2)
+	sum := 0
+	for l := 1; l <= maxLevel; l++ {
+		starts[l] = sum
+		sum += cnt[l]
+	}
+	starts[maxLevel+1] = sum
+	order := sc.bufIntRaw(nTree)
+	copy(cnt[1:maxLevel+1], starts[1:maxLevel+1]) // reuse cnt as fill cursors
+	for x := 0; x < n; x++ {
+		if !onCycle[x] {
+			l := level[x]
+			order[cnt[l]] = x
+			cnt[l]++
 		}
 	}
 
 	// Step 3: mark tree nodes matching their cycle counterpart (Lemma 4.1)
 	// top-down, so a node is marked only if its whole root path matches.
-	marked := make([]bool, n)
+	marked := sc.bufBool(n)
 	for x := 0; x < n; x++ {
 		marked[x] = onCycle[x]
 	}
 	for l := 1; l <= maxLevel; l++ {
-		for _, x := range byLevel[l] {
+		for _, x := range order[starts[l]:starts[l+1]] {
 			if !marked[f[x]] {
 				continue
 			}
 			r := root[x]
 			k := cycleLen[r]
-			// Corresponding cycle node: rank (rank(r) - level) mod k.
+			// Corresponding cycle node: rank (rank(r) - level) mod k,
+			// compared directly on the cycle (rank cr from the leader); on
+			// match x inherits that node's Q-code, which step 2 already
+			// assigned (a cycle covers every offset of its class).
 			cr := ((rankOf[r]-l)%k + k) % k
-			// Find its Q-code via the canonical key.
-			p := cyclePer[r]
-			off := ((cr-cycleOff[r])%p + p) % p
-			corresp := cycleCodes[cycleKey{cycleCls[r], off}]
-			// Compare B-labels: x must match the corresponding node,
-			// looked up directly on the cycle (rank cr from the leader).
-			if b[x] == b[cycNodes[cycleOf[r]][cr]] {
+			if b[x] == b[cycSeq[cycStart[cycleOf[r]]+cr]] {
+				p := cyclePer[r]
+				off := ((cr-cycleOff[r])%p + p) % p
 				marked[x] = true
-				labels[x] = corresp
+				labels[x] = codeArr[classBase[cycleCls[r]]+off] - 1
 			}
 		}
 	}
 
 	// Step 4: unmarked nodes top-down with (B, parent-code) pairs
-	// (Lemma 4.2). Anchor codes of labeled parents are tagged so they
-	// cannot collide with inner pair codes.
-	type pairKey struct{ a, b int }
-	pairCodes := map[pairKey]int{}
-	anchorCodes := map[int]int{}
+	// (Lemma 4.2). Anchor codes of marked parents are re-coded first so
+	// they cannot collide with inner pair codes.
+	//
+	// Pair identity only needs injectivity of the B half, so unmarked
+	// nodes' B-labels are first densely renamed to [0, L); pairs then code
+	// through pairArr[parentCode*L + bclass] while the table stays within
+	// 16 ints per node (parentCode < 2n), with sc.pairCodes as the map
+	// fallback for label-rich B. pairArr keeps its all-zero invariant by
+	// undoing exactly the touched slots afterwards.
+	bcls := sc.bufIntRaw(n)
+	L := 0
+	{
+		minB, maxB := 0, 0
+		first := true
+		for i := 0; i < nTree; i++ {
+			x := order[i]
+			if marked[x] {
+				continue
+			}
+			v := b[x]
+			if first {
+				minB, maxB, first = v, v, false
+			} else if v < minB {
+				minB = v
+			} else if v > maxB {
+				maxB = v
+			}
+		}
+		switch {
+		case first:
+			// No unmarked nodes; nothing to rename.
+		case minB >= 0 && maxB < 4*n:
+			tbl := sc.bufInt(maxB + 1)
+			for i := 0; i < nTree; i++ {
+				x := order[i]
+				if marked[x] {
+					continue
+				}
+				id := tbl[b[x]]
+				if id == 0 {
+					L++
+					id = L
+					tbl[b[x]] = id
+				}
+				bcls[x] = id - 1
+			}
+		default:
+			if sc.bRename == nil {
+				sc.bRename = make(map[int]int)
+			}
+			for i := 0; i < nTree; i++ {
+				x := order[i]
+				if marked[x] {
+					continue
+				}
+				id, ok := sc.bRename[b[x]]
+				if !ok {
+					id = L
+					L++
+					sc.bRename[b[x]] = id
+				}
+				bcls[x] = id
+			}
+		}
+	}
+
+	anchor := sc.bufInt(nextCode) // marked-parent Q-code (a cycle code) -> anchor code+1
+	codeCap := 2 * n
+	useArr := L > 0 && codeCap*L <= 16*n
+	var pairArr []int
+	touched := sc.pairTouched[:0]
+	if useArr {
+		if cap(sc.pairArr) < codeCap*L {
+			sc.pairArr = make([]int, codeCap*L)
+		}
+		pairArr = sc.pairArr[:codeCap*L]
+	} else if L > 0 && sc.pairCodes == nil {
+		sc.pairCodes = make(map[int64]int)
+	}
 	for l := 1; l <= maxLevel; l++ {
-		for _, x := range byLevel[l] {
+		for _, x := range order[starts[l]:starts[l+1]] {
 			if marked[x] {
 				continue
 			}
 			var parentCode int
 			if marked[f[x]] {
-				code, ok := anchorCodes[labels[f[x]]]
-				if !ok {
-					code = newCode()
-					anchorCodes[labels[f[x]]] = code
+				a := anchor[labels[f[x]]]
+				if a == 0 {
+					nextCode++
+					a = nextCode
+					anchor[labels[f[x]]] = a
 				}
-				parentCode = code
+				parentCode = a - 1
 			} else {
 				parentCode = labels[f[x]]
 			}
-			pk := pairKey{b[x], parentCode}
-			code, ok := pairCodes[pk]
-			if !ok {
-				code = newCode()
-				pairCodes[pk] = code
+			if useArr {
+				idx := parentCode*L + bcls[x]
+				code := pairArr[idx]
+				if code == 0 {
+					nextCode++
+					code = nextCode
+					pairArr[idx] = code
+					touched = append(touched, idx)
+				}
+				labels[x] = code - 1
+			} else {
+				k := int64(parentCode)*int64(L) + int64(bcls[x])
+				code, ok := sc.pairCodes[k]
+				if !ok {
+					nextCode++
+					code = nextCode
+					sc.pairCodes[k] = code
+				}
+				labels[x] = code - 1
 			}
-			labels[x] = code
 		}
 	}
+	for _, idx := range touched {
+		pairArr[idx] = 0
+	}
+	sc.pairTouched = touched[:0]
 
-	return NormalizeLabels(labels)
+	return labels, nextCode
 }
 
 // intsKey builds a map key from an int slice.

@@ -114,8 +114,8 @@ var dispatch = map[Algorithm]entry{
 	Hopcroft: func(_ context.Context, in coarsest.Instance, _ Plan, _ uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
 		return coarsest.Hopcroft(in), nil, nil
 	},
-	Linear: func(_ context.Context, in coarsest.Instance, _ Plan, _ uint64, _ *coarsest.Scratch) ([]int, *pram.Stats, error) {
-		return coarsest.LinearSequential(in), nil, nil
+	Linear: func(_ context.Context, in coarsest.Instance, _ Plan, _ uint64, sc *coarsest.Scratch) ([]int, *pram.Stats, error) {
+		return coarsest.LinearSequentialScratch(in, sc), nil, nil
 	},
 	NativeParallel: func(ctx context.Context, in coarsest.Instance, plan Plan, _ uint64, sc *coarsest.Scratch) ([]int, *pram.Stats, error) {
 		labels, err := coarsest.NativeParallelCtx(ctx, in, plan.Workers, sc)
@@ -145,8 +145,8 @@ var dispatch = map[Algorithm]entry{
 }
 
 // Execute runs a resolved plan on a validated instance. plan.Algorithm must
-// be concrete (MakePlan never returns Auto); sc may be nil — only the
-// native-parallel solver uses it, the rest ignore it.
+// be concrete (MakePlan never returns Auto); sc may be nil — the linear and
+// native-parallel solvers use it, the rest ignore it.
 func Execute(ctx context.Context, in coarsest.Instance, plan Plan, seed uint64, sc *coarsest.Scratch) ([]int, *pram.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err

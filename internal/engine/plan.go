@@ -242,6 +242,74 @@ func MakePlan(in coarsest.Instance, req Request) (Plan, error) {
 	}
 }
 
+// MakeBatchPlan resolves one plan for a coalesced batch of instances: the
+// batch — not each member — is the planning unit, so N tiny requests pay
+// for one resolution instead of N probes. Auto plans by the largest member
+// (a batch of all-small instances runs one sequential linear pass per
+// member under a shared scratch arena; if any member reaches the parallel
+// crossover the whole batch gets the parallel plan that member needs);
+// explicit algorithms are honored as in MakePlan, with workers resolved
+// against the largest member. Features.N reports the batch's total
+// elements. Plans are deterministic in (instances, request).
+func MakeBatchPlan(ins []coarsest.Instance, req Request) (Plan, error) {
+	if len(ins) == 0 {
+		return Plan{}, fmt.Errorf("sfcp: empty batch")
+	}
+	maxN, totalN := 0, 0
+	for _, in := range ins {
+		n := len(in.F)
+		totalN += n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if req.Algorithm != Auto {
+		largest := ins[0]
+		for _, in := range ins[1:] {
+			if len(in.F) > len(largest.F) {
+				largest = in
+			}
+		}
+		p, err := MakePlan(largest, req)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Reason = fmt.Sprintf("explicit %s request for coalesced batch of %d members (total n=%d)",
+			req.Algorithm, len(ins), totalN)
+		p.Features = Features{N: totalN}
+		return p, nil
+	}
+	ft := Features{N: totalN}
+	if maxN < MinParallelN {
+		return Plan{
+			Algorithm: Linear,
+			Workers:   1,
+			Reason: fmt.Sprintf("auto: coalesced batch of %d members (max n=%d, total n=%d) below parallel crossover %d; one sequential linear pass per member under a shared scratch arena",
+				len(ins), maxN, totalN, MinParallelN),
+			Features: ft,
+		}, nil
+	}
+	budget := par.Workers(req.Workers)
+	need := coresToBreakEven(maxN)
+	if budget < need {
+		return Plan{
+			Algorithm: Linear,
+			Workers:   1,
+			Reason: fmt.Sprintf("auto: coalesced batch of %d members; worker budget %d under break-even %d cores at max n=%d; sequential linear-time solver",
+				len(ins), budget, need, maxN),
+			Features: ft,
+		}, nil
+	}
+	w := scaleWorkers(maxN, budget)
+	return Plan{
+		Algorithm: NativeParallel,
+		Workers:   w,
+		Reason: fmt.Sprintf("auto: coalesced batch of %d members with max n=%d at or above crossover %d; native-parallel with %d workers per member",
+			len(ins), maxN, MinParallelN, w),
+		Features: ft,
+	}, nil
+}
+
 // Run is the engine's front door: probe, plan, dispatch, with per-stage
 // timings. The instance must already be validated; sc may be nil.
 func Run(ctx context.Context, in coarsest.Instance, req Request, sc *coarsest.Scratch) (Outcome, error) {

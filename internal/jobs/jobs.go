@@ -139,10 +139,12 @@ type Snapshot struct {
 	State State  `json:"state"`
 	// Algorithm is what the submission asked for; ResolvedAlgorithm (set
 	// once the job is done) is what the planner actually ran, with
-	// PlanReason explaining the choice.
+	// PlanReason explaining the choice and PlanWorkers the resolved
+	// worker count — the same plan fields a synchronous response carries.
 	Algorithm         string      `json:"algorithm"`
 	ResolvedAlgorithm string      `json:"resolved_algorithm,omitempty"`
 	PlanReason        string      `json:"plan_reason,omitempty"`
+	PlanWorkers       int         `json:"plan_workers,omitempty"`
 	Priority          int         `json:"priority,omitempty"`
 	N                 int         `json:"n"`
 	SubmittedAt       time.Time   `json:"submitted_at"`
@@ -483,6 +485,7 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		if j.res.Plan != nil {
 			s.ResolvedAlgorithm = j.res.Plan.Algorithm.String()
 			s.PlanReason = j.res.Plan.Reason
+			s.PlanWorkers = j.res.Plan.Workers
 		}
 	}
 	return s

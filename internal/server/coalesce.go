@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sfcp"
+	"sfcp/internal/batcher"
+)
+
+// This file is the server side of the coalescing front door (see
+// internal/batcher): small solves — the regime where per-request plan,
+// queue and dispatch overhead rivals the solve itself — skip the
+// per-algorithm pool and accumulate into micro-batches that are planned
+// once (sfcp.PlanBatch) and executed as one sequential run under a
+// shared scratch arena (Solver.SolveBatchPlanned). Async jobs arrive
+// here too: their dispatchers call the same solveResult.
+
+// coalescible reports whether a request may take the micro-batch path:
+// the coalescer is running, the instance sits in the planner's
+// sequential-linear regime (<= BatchMaxN), and the requested algorithm
+// is auto or linear — exactly the requests the batch plan would resolve
+// identically one at a time. Simulator and explicit-parallel requests
+// keep their per-request pool semantics (dedicated queues, seeds,
+// stats).
+func (s *Server) coalescible(algo sfcp.Algorithm, ins sfcp.Instance) bool {
+	return s.coalescer != nil &&
+		len(ins.F) <= s.cfg.BatchMaxN &&
+		(algo == sfcp.AlgorithmAuto || algo == sfcp.AlgorithmLinear)
+}
+
+// solveCoalesced serves one request through the coalescer. Validation
+// happens before enqueueing — a malformed instance fails immediately
+// (under the plan-error metric, like the pool path) instead of waiting
+// out the coalescing deadline — and the cache is consulted up front so
+// hot instances never pay the queue wait at all.
+func (s *Server) solveCoalesced(ctx context.Context, algo sfcp.Algorithm, seed uint64, ins sfcp.Instance) solveOutcome {
+	if err := ins.Validate(); err != nil {
+		s.metrics.planError(algo.String())
+		return solveOutcome{err: err}
+	}
+	// Eligibility already is the resolution: below BatchMaxN (inside the
+	// sequential-linear regime) the batch plan can only pick linear. The
+	// per-request planner counter advances here — before the cache, like
+	// the pool path — so plans ≈ requests holds on hits and misses alike.
+	s.metrics.plan(sfcp.AlgorithmLinear.String())
+	var key string
+	if s.cache.enabled() {
+		// Coalesced requests always resolve to the linear solver, so the
+		// key is known before any planning — and matches the key an
+		// uncoalesced auto or explicit-linear request would compute.
+		key = cacheKey(sfcp.AlgorithmLinear, seed, ins.Digest())
+		if res, ok := s.cache.Get(key); ok {
+			s.metrics.cache(true)
+			var plan sfcp.Plan
+			if res.Plan != nil {
+				plan = *res.Plan
+			}
+			return solveOutcome{res: res, plan: plan, cached: true}
+		}
+		s.metrics.cache(false)
+	}
+	out, err := s.coalescer.Submit(ctx, ins, key)
+	so := solveOutcome{
+		res:         out.Res,
+		elapsed:     out.Responded.Sub(out.Queued),
+		coalesced:   out.Coalesced,
+		flushReason: out.FlushReason,
+		queueWait:   out.QueueWait(),
+		err:         err,
+	}
+	if out.Res.Plan != nil {
+		so.plan = *out.Res.Plan
+	}
+	return so
+}
+
+// coalesceBufs is one flush's staging (live member indexes and their
+// instances), recycled across flushes so the steady state allocates
+// nothing per batch beyond the results themselves.
+type coalesceBufs struct {
+	live      []int
+	instances []sfcp.Instance
+}
+
+var coalesceBufPool = sync.Pool{New: func() any { return &coalesceBufs{} }}
+
+// runCoalesced executes one flushed micro-batch: plan the batch as the
+// instance (one resolution for all members), solve the live members
+// sequentially under one scratch arena, and meter/cache each member
+// individually so error isolation and per-request accounting match the
+// pool path. It runs on a batcher flush goroutine, never under a lock;
+// out is the batcher's positional result slice (zeroed on entry).
+func (s *Server) runCoalesced(ctx context.Context, members []batcher.Member, out []batcher.MemberResult) {
+	bufs := coalesceBufPool.Get().(*coalesceBufs)
+	defer func() {
+		clear(bufs.instances)
+		bufs.live, bufs.instances = bufs.live[:0], bufs.instances[:0]
+		coalesceBufPool.Put(bufs)
+	}()
+	live, instances := bufs.live[:0], bufs.instances[:0]
+	for i, m := range members {
+		// A member whose submitter already gave up (timeout, disconnect)
+		// is not worth solving; fail it with its own context's error.
+		if err := m.Ctx.Err(); err != nil {
+			out[i] = batcher.MemberResult{Err: err}
+			continue
+		}
+		live = append(live, i)
+		instances = append(instances, m.Ins)
+	}
+	bufs.live, bufs.instances = live, instances
+	if len(live) == 0 {
+		return
+	}
+
+	planStart := time.Now()
+	plan, err := sfcp.PlanBatch(instances, sfcp.Options{Algorithm: sfcp.AlgorithmAuto, Workers: s.cfg.Workers})
+	planDur := time.Since(planStart)
+	if err != nil {
+		for _, i := range live {
+			out[i] = batcher.MemberResult{Err: err}
+		}
+		return
+	}
+	resolved := plan.Algorithm.String()
+	results, errs := s.solvers[plan.Algorithm].SolveBatchPlanned(ctx, instances, plan)
+	for j, i := range live {
+		if errs[j] != nil {
+			s.metrics.solve(resolved, 0, 0, errs[j])
+			out[i] = batcher.MemberResult{Err: errs[j]}
+			continue
+		}
+		res := results[j]
+		res.Timings.Plan = planDur
+		s.metrics.solve(resolved, res.Timings.Solve, res.NumClasses, nil)
+		if members[i].Key != "" {
+			s.cache.Put(members[i].Key, res)
+		}
+		out[i] = batcher.MemberResult{Res: res}
+	}
+}

@@ -132,6 +132,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		Algorithm:         snap.Algorithm,
 		ResolvedAlgorithm: snap.ResolvedAlgorithm,
 		PlanReason:        snap.PlanReason,
+		PlanWorkers:       snap.PlanWorkers,
 		Labels:            res.Labels,
 		NumClasses:        res.NumClasses,
 		Cached:            snap.Cached,

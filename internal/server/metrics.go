@@ -32,6 +32,20 @@ const (
 	metricJobsEvictedTotal   = "sfcpd_jobs_evicted_total"
 	metricJobsQueued         = "sfcpd_jobs_queued"
 	metricJobsRunning        = "sfcpd_jobs_running"
+
+	// Plan/validation failures, keyed by the algorithm the request asked
+	// for (possibly "auto" — nothing was resolved, so nothing ran; these
+	// must never inflate the per-resolved-algorithm solve families).
+	metricPlanErrorsTotal = "sfcpd_plan_errors_total"
+
+	// Coalescing front-door families: requests that went through the
+	// micro-batcher, flushes by trigger reason, and the summed/counted
+	// per-request queue wait (sum/count expose the mean coalescing
+	// latency a request paid before its batch solved).
+	metricBatcherCoalescedTotal    = "sfcpd_batcher_coalesced_total"
+	metricBatcherFlushesTotal      = "sfcpd_batcher_flushes_total"
+	metricBatcherQueueSecondsSum   = "sfcpd_batcher_queue_seconds_sum"
+	metricBatcherQueueSecondsCount = "sfcpd_batcher_queue_seconds_count"
 )
 
 // typeHeader renders one family's exposition-format type line.
@@ -53,6 +67,12 @@ type metrics struct {
 	ingested  map[string]int64       // body bytes by format ("json", "binary")
 	solves    map[string]*solveStats // by resolved algorithm name
 	plans     map[string]int64       // planner resolutions by resolved algorithm
+	planErrs  map[string]int64       // plan/validation failures by requested algorithm
+
+	batcherCoalesced  int64            // requests served through the coalescer
+	batcherFlushes    map[string]int64 // flushes by reason ("size", "deadline")
+	batcherQueueWait  time.Duration    // summed per-request coalescing wait
+	batcherQueueCount int64            // requests contributing to that sum
 }
 
 type solveStats struct {
@@ -70,6 +90,9 @@ func newMetrics() *metrics {
 		ingested: map[string]int64{},
 		solves:   map[string]*solveStats{},
 		plans:    map[string]int64{},
+		planErrs: map[string]int64{},
+
+		batcherFlushes: map[string]int64{},
 	}
 }
 
@@ -78,6 +101,27 @@ func newMetrics() *metrics {
 func (m *metrics) plan(algo string) {
 	m.mu.Lock()
 	m.plans[algo]++
+	m.mu.Unlock()
+}
+
+// planError records a plan or validation failure under the algorithm the
+// request asked for — "auto" included, since no resolution happened. The
+// solve families stay untouched: a solve that never ran is not a solve.
+func (m *metrics) planError(algo string) {
+	m.mu.Lock()
+	m.planErrs[algo]++
+	m.mu.Unlock()
+}
+
+// batcherFlush records one coalescing flush: its trigger reason, how many
+// requests it carried, and their summed queue wait. Wired as the
+// batcher's Observe hook.
+func (m *metrics) batcherFlush(reason string, members int, queueWait time.Duration) {
+	m.mu.Lock()
+	m.batcherCoalesced += int64(members)
+	m.batcherFlushes[reason]++
+	m.batcherQueueWait += queueWait
+	m.batcherQueueCount += int64(members)
 	m.mu.Unlock()
 }
 
@@ -178,6 +222,22 @@ func (m *metrics) render() string {
 	for _, algo := range sortedKeys(m.solves) {
 		emit("%s{algorithm=%q} %d\n", metricSolveClassesSum, algo, m.solves[algo].classes)
 	}
+	// Families added after the seed's original sixteen are emitted last,
+	// so the long-standing blocks above stay byte-stable for scrapers.
+	emit(typeHeader(metricPlanErrorsTotal, "counter"))
+	for _, algo := range sortedKeys(m.planErrs) {
+		emit("%s{algorithm=%q} %d\n", metricPlanErrorsTotal, algo, m.planErrs[algo])
+	}
+	emit(typeHeader(metricBatcherCoalescedTotal, "counter"))
+	emit("%s %d\n", metricBatcherCoalescedTotal, m.batcherCoalesced)
+	emit(typeHeader(metricBatcherFlushesTotal, "counter"))
+	for _, reason := range sortedKeys(m.batcherFlushes) {
+		emit("%s{reason=%q} %d\n", metricBatcherFlushesTotal, reason, m.batcherFlushes[reason])
+	}
+	emit(typeHeader(metricBatcherQueueSecondsSum, "counter"))
+	emit("%s %g\n", metricBatcherQueueSecondsSum, m.batcherQueueWait.Seconds())
+	emit(typeHeader(metricBatcherQueueSecondsCount, "counter"))
+	emit("%s %d\n", metricBatcherQueueSecondsCount, m.batcherQueueCount)
 	return string(b)
 }
 

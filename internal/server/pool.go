@@ -65,6 +65,17 @@ func (p *pool) worker(q chan *poolTask) {
 		case <-p.done:
 			return
 		case t := <-q:
+			// Re-check done with priority: the outer select is unbiased, so
+			// a closing pool could keep randomly draining and *executing*
+			// queued tasks — work close documents as dropped, whose
+			// submitters already got errShutdown. Settle the popped task's
+			// channel and loop (draining the queue without running it).
+			select {
+			case <-p.done:
+				t.resC <- poolResult{err: errShutdown}
+				continue
+			default:
+			}
 			// Don't burn a worker on a task whose submitter already gave
 			// up while it sat in the queue (client timeout + retry storms
 			// would otherwise pay for every abandoned predecessor).

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sfcp"
+)
+
+// TestPoolCloseDoesNotExecuteQueued pins the shutdown contract: close
+// documents queued-but-unstarted tasks as dropped (their submitters get
+// errShutdown), so a closing worker must never execute them. Before the
+// priority done-check the worker's unbiased select would randomly drain
+// and run queued tasks after close.
+func TestPoolCloseDoesNotExecuteQueued(t *testing.T) {
+	const queued = 8
+	p := newPool(1, queued)
+	ctx := context.Background()
+
+	// Park the single linear worker inside a task so everything submitted
+	// behind it stays queued.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go p.submit(ctx, sfcp.AlgorithmLinear, func(context.Context) (sfcp.Result, error) {
+		close(started)
+		<-release
+		return sfcp.Result{}, nil
+	})
+	<-started
+
+	// Fill the queue behind the blocker.
+	var executed atomic.Int32
+	var wg sync.WaitGroup
+	errs := make([]error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.submit(ctx, sfcp.AlgorithmLinear, func(context.Context) (sfcp.Result, error) {
+				executed.Add(1)
+				return sfcp.Result{}, nil
+			})
+		}(i)
+	}
+	// Wait until all eight sit in the queue (buffered channel, so the
+	// sends complete as soon as there is room; poll for the fill).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.queues[sfcp.AlgorithmLinear]) < queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d/%d", len(p.queues[sfcp.AlgorithmLinear]), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Close while the worker is still parked, then let it run: on its way
+	// out it must drain the queue without executing anything.
+	closed := make(chan struct{})
+	go func() {
+		p.close()
+		close(closed)
+	}()
+	// close blocks in wg.Wait until the parked worker exits, but p.done is
+	// closed first — wait for that signal before releasing the worker, so
+	// the worker provably observes a closing pool when it next hits the
+	// queue.
+	<-p.done
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool.close never returned")
+	}
+	wg.Wait()
+
+	if n := executed.Load(); n != 0 {
+		t.Errorf("%d queued tasks executed after close; close documents them as dropped", n)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, errShutdown) {
+			t.Errorf("queued submitter %d got %v, want errShutdown", i, err)
+		}
+	}
+}

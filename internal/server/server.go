@@ -36,10 +36,12 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"sfcp"
+	"sfcp/internal/batcher"
 	"sfcp/internal/codec"
 	"sfcp/internal/jobs"
 )
@@ -73,6 +75,18 @@ type Config struct {
 	// JobMaxQueued bounds async jobs waiting across all algorithms
 	// (default 1024); Submit beyond it returns 429.
 	JobMaxQueued int
+	// BatchMaxWait bounds how long a small solve waits in the coalescing
+	// front door for batch companions before its micro-batch flushes
+	// anyway (default 1ms; negative disables coalescing entirely).
+	BatchMaxWait time.Duration
+	// BatchMaxSize flushes a coalescing micro-batch once it holds this
+	// many requests (default 64).
+	BatchMaxSize int
+	// BatchMaxN is the largest instance (elements) eligible for
+	// coalescing; bigger requests take the per-request pool path
+	// (default sfcp.LinearCrossoverN - 1, the planner's whole
+	// sequential-linear regime).
+	BatchMaxN int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +107,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.BatchMaxWait == 0 {
+		c.BatchMaxWait = time.Millisecond
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 64
+	}
+	if c.BatchMaxN <= 0 {
+		c.BatchMaxN = sfcp.LinearCrossoverN - 1
 	}
 	return c
 }
@@ -128,6 +151,14 @@ type SolveResponse struct {
 	Stats             *sfcp.Stats `json:"stats,omitempty"`
 	Error             string      `json:"error,omitempty"`
 
+	// Coalescing front-door fields, set when the request was served
+	// through the micro-batcher: how many requests shared the flush, why
+	// the flush fired ("size" or "deadline"), and the queue wait — the
+	// latency the request spent coalescing, separable from SolveMS.
+	Coalesced   int     `json:"coalesced,omitempty"`
+	FlushReason string  `json:"flush_reason,omitempty"`
+	QueueMS     float64 `json:"queue_ms,omitempty"`
+
 	// transient marks server-side failures (shutdown, cancellation) that
 	// deserve a 503 rather than a 400; never serialized.
 	transient bool
@@ -156,6 +187,11 @@ type Server struct {
 	metrics *metrics
 	solvers map[sfcp.Algorithm]*sfcp.Solver
 	jobs    *jobs.Manager
+
+	// coalescer micro-batches small solves (nil when disabled); stop
+	// cancels the lifecycle context it derives from.
+	coalescer *batcher.Batcher
+	stop      context.CancelFunc
 }
 
 // New builds a ready-to-serve Server.
@@ -187,9 +223,25 @@ func New(cfg Config) *Server {
 		DispatchersPerAlgorithm: cfg.WorkersPerAlgorithm,
 		TTL:                     cfg.JobTTL,
 	}, func(ctx context.Context, algo sfcp.Algorithm, seed *uint64, ins sfcp.Instance) (sfcp.Result, bool, error) {
-		res, _, cached, _, err := s.solveResult(ctx, algo, seed, ins)
-		return res, cached, err
+		out := s.solveResult(ctx, algo, seed, ins)
+		return out.res, out.cached, out.err
 	})
+	// The coalescing front door: small solves (synchronous and async —
+	// job dispatchers land in the same solveResult) accumulate into
+	// micro-batches that solve as one planned run under a shared scratch
+	// arena. Its lifecycle context is the server's root, cancelled in
+	// Close before the pool stops.
+	if cfg.BatchMaxWait >= 0 {
+		//sfcpvet:ignore ctxpath -- the server's lifecycle root, cancelled in Close; the coalescer's context derives from it
+		lifecycle, cancel := context.WithCancel(context.Background())
+		s.stop = cancel
+		s.coalescer = batcher.New(lifecycle, batcher.Config{
+			MaxWait: cfg.BatchMaxWait,
+			MaxSize: cfg.BatchMaxSize,
+			Run:     s.runCoalesced,
+			Observe: s.metrics.batcherFlush,
+		})
+	}
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -204,10 +256,15 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the job manager (cancelling running jobs) and then the
-// worker pool. In-flight requests finish; queued ones fail.
+// Close stops the job manager (cancelling running jobs), then the
+// coalescer (queued micro-batch members fail with its shutdown error),
+// then the worker pool. In-flight requests finish; queued ones fail.
 func (s *Server) Close() {
 	s.jobs.Close()
+	if s.coalescer != nil {
+		s.coalescer.Close()
+		s.stop()
+	}
 	s.pool.close()
 }
 
@@ -503,23 +560,41 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, defaultAlgo str
 // SolveResponse shape.
 func (s *Server) solveInstance(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) SolveResponse {
 	resp := SolveResponse{Algorithm: algo.String()}
-	res, plan, cached, elapsed, err := s.solveResult(ctx, algo, seedOverride, ins)
-	if err != nil {
-		resp.Error = err.Error()
-		resp.transient = errors.Is(err, errShutdown) ||
-			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	out := s.solveResult(ctx, algo, seedOverride, ins)
+	if out.err != nil {
+		resp.Error = out.err.Error()
+		resp.transient = errors.Is(out.err, errShutdown) || errors.Is(out.err, batcher.ErrShutdown) ||
+			errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded)
 		return resp
 	}
-	resp.ResolvedAlgorithm = plan.Algorithm.String()
-	resp.PlanReason = plan.Reason
-	resp.PlanWorkers = plan.Workers
-	resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = res.Labels, res.NumClasses, res.Stats, cached
-	if !cached {
-		resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
-		resp.PlanMS = float64(res.Timings.Plan) / float64(time.Millisecond)
-		resp.SolveMS = float64(res.Timings.Solve) / float64(time.Millisecond)
+	resp.ResolvedAlgorithm = out.plan.Algorithm.String()
+	resp.PlanReason = out.plan.Reason
+	resp.PlanWorkers = out.plan.Workers
+	resp.Labels, resp.NumClasses, resp.Stats, resp.Cached = out.res.Labels, out.res.NumClasses, out.res.Stats, out.cached
+	if !out.cached {
+		resp.ElapsedMS = float64(out.elapsed) / float64(time.Millisecond)
+		resp.PlanMS = float64(out.res.Timings.Plan) / float64(time.Millisecond)
+		resp.SolveMS = float64(out.res.Timings.Solve) / float64(time.Millisecond)
 	}
+	resp.Coalesced = out.coalesced
+	resp.FlushReason = out.flushReason
+	resp.QueueMS = float64(out.queueWait) / float64(time.Millisecond)
 	return resp
+}
+
+// solveOutcome is everything the solve path reports about one request:
+// the result and resolved plan, whether the cache served it, end-to-end
+// elapsed time, and — when the coalescing front door handled it — the
+// batch metadata (flush size and reason, per-request queue wait).
+type solveOutcome struct {
+	res         sfcp.Result
+	plan        sfcp.Plan
+	cached      bool
+	elapsed     time.Duration
+	coalesced   int
+	flushReason string
+	queueWait   time.Duration
+	err         error
 }
 
 // solveResult is the one solve path of the server — synchronous handlers
@@ -537,23 +612,32 @@ func (s *Server) solveInstance(ctx context.Context, algo sfcp.Algorithm, seedOve
 // another's labels — rests on the cryptographic digest, and a JSON upload
 // of an instance hits the entry its binary twin populated. With caching
 // disabled no digest is computed at all.
-func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) (sfcp.Result, sfcp.Plan, bool, time.Duration, error) {
+func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverride *uint64, ins sfcp.Instance) solveOutcome {
 	seed := s.cfg.Seed
 	if seedOverride != nil {
 		seed = *seedOverride
+	}
+	if s.coalescible(algo, ins) {
+		return s.solveCoalesced(ctx, algo, seed, ins)
 	}
 	planStart := time.Now()
 	plan, err := sfcp.PlanWith(ins, sfcp.Options{Algorithm: algo, Workers: s.cfg.Workers})
 	planDur := time.Since(planStart)
 	if err != nil {
-		s.metrics.solve(algo.String(), 0, 0, err)
-		return sfcp.Result{}, sfcp.Plan{}, false, 0, err
+		// A plan/validation failure is not a solve: nothing resolved and
+		// nothing ran, so it counts under the dedicated plan-error family
+		// keyed by what the request asked for — never under the
+		// per-resolved-algorithm solve families (which a request for
+		// "auto" would otherwise pollute with an "auto" label no solve
+		// ever carries).
+		s.metrics.planError(algo.String())
+		return solveOutcome{err: err}
 	}
 	resolved := plan.Algorithm
 	s.metrics.plan(resolved.String())
 	var key string
 	if s.cache.enabled() {
-		key = fmt.Sprintf("%s/%d/%s", resolved, seed, ins.Digest())
+		key = cacheKey(resolved, seed, ins.Digest())
 		if res, ok := s.cache.Get(key); ok {
 			s.metrics.cache(true)
 			// The labels are shared, but the plan reported is this
@@ -561,7 +645,7 @@ func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverr
 			// populate the entry (an "auto" hit on an explicit twin's
 			// entry must not claim "explicit ... request").
 			res.Plan = &plan
-			return res, plan, true, 0, nil
+			return solveOutcome{res: res, plan: plan, cached: true}
 		}
 		s.metrics.cache(false)
 	}
@@ -578,13 +662,30 @@ func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverr
 	elapsed := time.Since(start)
 	s.metrics.solve(resolved.String(), elapsed, res.NumClasses, err)
 	if err != nil {
-		return sfcp.Result{}, plan, false, elapsed, err
+		return solveOutcome{plan: plan, elapsed: elapsed, err: err}
 	}
 	res.Timings.Plan = planDur
 	if key != "" {
 		s.cache.Put(key, res)
 	}
-	return res, plan, false, elapsed, nil
+	return solveOutcome{res: res, plan: plan, elapsed: elapsed}
+}
+
+// cacheKey builds the "resolved/seed/digest" cache key without fmt — this
+// runs on every cacheable request, and Sprintf's reflection costs more
+// than the rest of the lookup in the tiny-solve regime. One allocation
+// (the final string); pinned by TestCacheKeyAllocs.
+func cacheKey(algo sfcp.Algorithm, seed uint64, digest string) string {
+	name := algo.String()
+	var b strings.Builder
+	b.Grow(len(name) + len(digest) + 22) // 20 digits of uint64 max + 2 slashes
+	b.WriteString(name)
+	b.WriteByte('/')
+	var num [20]byte
+	b.Write(strconv.AppendUint(num[:0], seed, 10))
+	b.WriteByte('/')
+	b.WriteString(digest)
+	return b.String()
 }
 
 func (s *Server) fail(w http.ResponseWriter, route string, code int, msg string) {

@@ -25,6 +25,7 @@ package sfcp
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"sfcp/internal/circ"
@@ -40,6 +41,20 @@ type Instance struct {
 	F []int
 	B []int
 }
+
+// Validate checks the instance invariants (|F| == |B|, F values in range,
+// B labels non-negative) without solving. Callers that route instances
+// through deferred execution (a coalescing queue, an async job) use it to
+// reject malformed input up front.
+func (ins Instance) Validate() error {
+	return coarsest.Instance{F: ins.F, B: ins.B}.Validate()
+}
+
+// LinearCrossoverN is the instance size below which the adaptive planner
+// never picks a parallel solver for AlgorithmAuto — the "small request"
+// regime where per-invocation overhead dominates and coalescing several
+// requests into one planned batch pays off.
+const LinearCrossoverN = engine.MinParallelN
 
 // Algorithm selects a solver. It aliases the execution engine's type, so
 // the engine's planner and dispatch table are the single source of truth
@@ -175,6 +190,35 @@ func PlanWith(ins Instance, opts Options) (Plan, error) {
 	}
 	return engine.MakePlan(in, engine.Request{Algorithm: opts.Algorithm, Workers: opts.Workers, Seed: opts.Seed})
 }
+
+// PlanBatch resolves one execution plan for a coalesced batch of
+// instances: the batch is the planning unit, so N tiny requests share a
+// single resolution instead of paying N probes. Instances are not
+// validated here — batch execution (Solver.SolveBatchPlanned) validates
+// and fails members individually. Plan.Features.N reports the batch's
+// total elements.
+func PlanBatch(instances []Instance, opts Options) (Plan, error) {
+	// The conversion view is recycled: batch planning happens once per
+	// coalesced flush, and MakeBatchPlan only reads it (plans carry
+	// derived features, never instance slices).
+	ip, _ := planBatchPool.Get().(*[]coarsest.Instance)
+	if ip == nil {
+		ip = new([]coarsest.Instance)
+	}
+	ins := (*ip)[:0]
+	for _, m := range instances {
+		ins = append(ins, coarsest.Instance{F: m.F, B: m.B})
+	}
+	plan, err := engine.MakeBatchPlan(ins, engine.Request{Algorithm: opts.Algorithm, Workers: opts.Workers, Seed: opts.Seed})
+	clear(ins)
+	*ip = ins[:0]
+	planBatchPool.Put(ip)
+	return plan, err
+}
+
+// planBatchPool recycles PlanBatch's []coarsest.Instance conversion
+// views across flushes.
+var planBatchPool sync.Pool
 
 // SolvePlanned executes a plan previously resolved by PlanWith (or
 // Solver.Plan) for this instance, without re-probing or re-planning — the

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sfcp/internal/coarsest"
 	"sfcp/internal/engine"
@@ -149,6 +150,93 @@ func (s *Solver) SolvePlanned(ctx context.Context, ins Instance, plan Plan) (Res
 	s.scratch.Put(sc)
 	return res, err
 }
+
+// SolveBatchPlanned executes one previously resolved batch plan (see
+// PlanBatch) over every instance, sequentially on the calling goroutine
+// under a single shared scratch arena — the execution half of the
+// coalescing fast path: N tiny solves pay one plan, one scratch
+// checkout, and near-zero per-member allocation. Under a linear plan the
+// valid members run back-to-back through coarsest.LinearSequentialBatch
+// (one arena, one label slab for the whole batch); each member's
+// Result.Timings.Solve then reports its size-proportional share of the
+// batch pass. Results and errors are positional; an invalid member fails
+// alone (its siblings still solve) and a nil error at position i means
+// instances[i] solved.
+func (s *Solver) SolveBatchPlanned(ctx context.Context, instances []Instance, plan Plan) ([]Result, []error) {
+	results := make([]Result, len(instances))
+	errs := make([]error, len(instances))
+	sc := s.scratch.Get().(*coarsest.Scratch)
+	defer s.scratch.Put(sc)
+	totalN := 0
+	for i, ins := range instances {
+		in := coarsest.Instance{F: ins.F, B: ins.B}
+		if err := in.Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		totalN += len(ins.F)
+	}
+	if plan.Algorithm == AlgorithmLinear {
+		if err := ctx.Err(); err != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = err
+				}
+			}
+			return results, errs
+		}
+		// The valid-member staging slice is recycled across batches: on
+		// the coalescing hot path a flush arrives every few hundred
+		// microseconds and this is its only per-flush scratch besides the
+		// label slab the members keep.
+		mp, _ := batchMembersPool.Get().(*[]coarsest.Instance)
+		if mp == nil {
+			mp = new([]coarsest.Instance)
+		}
+		members := (*mp)[:0]
+		for i, ins := range instances {
+			if errs[i] == nil {
+				members = append(members, coarsest.Instance{F: ins.F, B: ins.B})
+			}
+		}
+		start := time.Now()
+		labels, classes := coarsest.LinearSequentialBatch(members, sc)
+		elapsed := time.Since(start)
+		j := 0
+		for i := range instances {
+			if errs[i] != nil {
+				continue
+			}
+			share := elapsed
+			if totalN > 0 {
+				share = elapsed * time.Duration(len(members[j].F)) / time.Duration(totalN)
+			}
+			results[i] = Result{
+				Labels:     labels[j],
+				NumClasses: classes[j],
+				Plan:       &plan,
+				Timings:    Timings{Solve: share},
+			}
+			j++
+		}
+		clear(members)
+		*mp = members[:0]
+		batchMembersPool.Put(mp)
+		return results, errs
+	}
+	for i, ins := range instances {
+		if errs[i] != nil {
+			continue
+		}
+		results[i], errs[i] = executePlan(ctx, coarsest.Instance{F: ins.F, B: ins.B}, plan, s.opts.Seed, sc)
+	}
+	return results, errs
+}
+
+// batchMembersPool recycles SolveBatchPlanned's valid-member staging
+// slices (they never escape: LinearSequentialBatch reads them and the
+// returned labels live in their own slab).
+var batchMembersPool sync.Pool
 
 // SolveReader decodes one binary wire-format instance from r (see
 // internal/codec) and solves it with the solver's algorithm. The decode is
