@@ -1,0 +1,42 @@
+package sfcp
+
+import (
+	"sfcp/internal/calib"
+	"sfcp/internal/engine"
+)
+
+// CalibrationProfile is a fitted set of planner thresholds: the parallel
+// crossover size, the break-even core model, the per-worker grain and the
+// measured useful-worker cap, stamped with the fingerprint of the host
+// that fitted them. The zero value is unusable — obtain one from
+// DefaultCalibrationProfile, LoadCalibrationProfile, or a
+// `sfcpbench -calibrate` run.
+type CalibrationProfile = calib.Profile
+
+// DefaultCalibrationProfile returns the built-in planner thresholds
+// (the zero-config fallback), stamped with this host's fingerprint.
+func DefaultCalibrationProfile() *CalibrationProfile {
+	return calib.Default()
+}
+
+// LoadCalibrationProfile reads and validates a persisted profile. A
+// corrupt, unknown-field, or version-skewed file is an error — callers
+// that must never fail on a bad profile should fall back to
+// DefaultCalibrationProfile.
+func LoadCalibrationProfile(path string) (*CalibrationProfile, error) {
+	return calib.Load(path)
+}
+
+// SetCalibrationProfile installs the profile the adaptive planner
+// consults process-wide for Solve, SolveWith, PlanWith and PlanBatch.
+// Nil reverts to the built-in defaults. Plan.Reason and
+// Plan.ProfileSource report which source steered each decision.
+func SetCalibrationProfile(p *CalibrationProfile) {
+	engine.SetProfile(p)
+}
+
+// ActiveCalibrationProfile returns the profile the planner is currently
+// consulting; never nil.
+func ActiveCalibrationProfile() *CalibrationProfile {
+	return engine.ActiveProfile()
+}

@@ -12,6 +12,7 @@
 //	GET    /jobs/{id}        job status: queued|running|done|failed|cancelled
 //	GET    /jobs/{id}/result labels (JSON, or binary with Accept: application/x-sfcp)
 //	DELETE /jobs/{id}        cooperative cancel
+//	POST   /calibrate        re-fit the planner profile on this host
 //	GET    /healthz
 //	GET    /metrics
 //
@@ -28,12 +29,22 @@
 //	      [-max-n 1048576] [-max-batch 256] [-workers 0] [-seed 0]
 //	      [-job-ttl 10m] [-job-queue 1024]
 //	      [-batch-wait 1ms] [-batch-size 64] [-batch-max-n 32767]
+//	      [-calibration-file profile.json] [-calibrate-on-start]
+//	      [-calibrate-budget 3s]
 //
 // Small solves (auto or linear requests up to -batch-max-n elements) are
 // coalesced: concurrent requests accumulate for up to -batch-wait or
 // -batch-size members and solve as one planned micro-batch under a shared
 // scratch arena. Responses report "coalesced", "flush_reason" and
 // "queue_ms"; a negative -batch-wait disables coalescing.
+//
+// The adaptive planner's crossover thresholds come from a calibration
+// profile: -calibration-file loads a fitted profile at startup (a
+// missing or corrupt file logs a warning and the built-in defaults
+// serve), -calibrate-on-start re-fits on this host before serving (and
+// persists to the calibration file when one is set), and POST /calibrate
+// re-fits a running daemon. /metrics reports sfcpd_plan_calibrated and
+// the active thresholds.
 package main
 
 import (
@@ -67,6 +78,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 	batchWait := fs.Duration("batch-wait", 0, "max coalescing wait for small solves (0 = 1ms default, negative disables)")
 	batchSize := fs.Int("batch-size", 0, "coalescing micro-batch flush size (0 = 64 default)")
 	batchMaxN := fs.Int("batch-max-n", 0, "largest instance eligible for coalescing (0 = planner's linear-crossover default)")
+	calibFile := fs.String("calibration-file", "", "planner calibration profile to load at startup and persist fits to")
+	calibOnStart := fs.Bool("calibrate-on-start", false, "run a bounded calibration fit before serving")
+	calibBudget := fs.Duration("calibrate-budget", 0, "wall-clock budget per calibration fit (0 = 3s default)")
 	if err := fs.Parse(args); err != nil {
 		return "", server.Config{}, err
 	}
@@ -84,6 +98,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 		BatchMaxWait:        *batchWait,
 		BatchMaxSize:        *batchSize,
 		BatchMaxN:           *batchMaxN,
+		CalibrationFile:     *calibFile,
+		CalibrateOnStart:    *calibOnStart,
+		CalibrateBudget:     *calibBudget,
 	}, nil
 }
 

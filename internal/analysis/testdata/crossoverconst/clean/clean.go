@@ -1,0 +1,11 @@
+// Fixture for the crossoverconst analyzer, run under the
+// "sfcp/internal/calib" import path: calib owns the crossover default,
+// so the literal spellings that are findings everywhere else are the
+// single sanctioned definition site here.
+package calib
+
+const DefaultMinParallelN = 1 << 15
+
+const asDecimal = 32768
+
+const asHex = 0x8000

@@ -1,0 +1,29 @@
+// Fixture for the crossoverconst analyzer, run under the
+// "sfcp/internal/engine" import path: every respelling of the planner
+// crossover value (decimal, hex, any constant shift that lands on it)
+// is flagged, while neighbouring powers of two and the sanctioned named
+// constant stay clean.
+package engine
+
+const minParallelN = 1 << 15 // want "literal 1<<15 is the planner crossover constant"
+
+const crossoverDecimal = 32768 // want "literal 32768 is the planner crossover constant"
+
+const crossoverHex = 0x8000 // want "literal 0x8000 is the planner crossover constant"
+
+const crossoverDisguised = 2 << 14 // want "literal 2<<14 is the planner crossover constant"
+
+// Neighbouring sizes are legitimate buffer and grain constants, not the
+// crossover, and must not be flagged.
+const (
+	workerGrain = 1 << 14
+	grainAlias  = 16384
+	batchCap    = 32767
+	bigBuffer   = 1 << 16
+)
+
+func thresholds() []int {
+	//sfcpvet:ignore crossoverconst -- fixture: a justified suppression stays silent
+	silenced := 32768
+	return []int{minParallelN, silenced, workerGrain, grainAlias, batchCap, bigBuffer}
+}

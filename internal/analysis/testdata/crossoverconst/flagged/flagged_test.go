@@ -1,0 +1,6 @@
+// Test files are exempt: fixtures legitimately pin concrete sizes.
+package engine
+
+const testCrossover = 1 << 15
+
+const testCrossoverDecimal = 32768

@@ -8,6 +8,10 @@ import "fmt"
 const (
 	metricHitsTotal = "sfcpd_hits_total"
 	metricQueueLen  = "sfcpd_queue_len"
+	// The calibration family pair mirrors renderCalibration: a bare 0/1
+	// gauge plus a labeled threshold gauge emitted once per field.
+	metricPlanCalibrated = "sfcpd_plan_calibrated"
+	metricPlanProfile    = "sfcpd_plan_profile"
 )
 
 func render() string {
@@ -19,6 +23,12 @@ func render() string {
 	emit("%s %d\n", metricHitsTotal, 10)
 	emit(typeHeader(metricQueueLen, "gauge"))
 	emit("%s{queue=%q} %d\n", metricQueueLen, "solve", 3)
+	emit(typeHeader(metricPlanCalibrated, "gauge"))
+	emit("%s %d\n", metricPlanCalibrated, 1)
+	emit(typeHeader(metricPlanProfile, "gauge"))
+	for _, field := range []string{"min_parallel_n", "worker_grain"} {
+		emit("%s{field=%q} %d\n", metricPlanProfile, field, 1)
+	}
 	return string(b)
 }
 

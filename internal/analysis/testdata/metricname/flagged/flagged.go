@@ -27,6 +27,7 @@ func render() string {
 	emit(typeHeader(metricCopy, "counter"))
 	emit("%s %d\n", metricCopy, 4)
 	emit("sfcpd_raw_literal_total 5\n")        // want "metric family name in string literal"
+	emit("sfcpd_plan_calibrated 1\n")          // want "metric family name in string literal"
 	emit(typeHeader(dynamicName(), "counter")) // want "non-constant metric name in typeHeader call"
 	return string(b)
 }

@@ -23,6 +23,7 @@ import (
 
 	"sfcp"
 	"sfcp/internal/batcher"
+	"sfcp/internal/calib"
 	"sfcp/internal/circ"
 	"sfcp/internal/coarsest"
 	"sfcp/internal/engine"
@@ -69,6 +70,7 @@ func All() []Experiment {
 		{"A3", "Ablation: m.s.p. recursion cutoff", A3Cutoff},
 		{"A4", "Planner crossover: auto vs forced algorithms (JSON)", A4PlannerCrossover},
 		{"A5", "Coalescing front door: micro-batched vs per-request small solves (JSON)", A5Coalescing},
+		{"A6", "Planner calibration: fitted profile and the measured curves behind it (JSON)", A6Calibration},
 	}
 }
 
@@ -640,24 +642,32 @@ func A4PlannerCrossover(cfg Config) {
 		AutoNS       int64            `json:"auto_ns"`
 		ForcedNS     map[string]int64 `json:"forced_ns"`
 	}
+	prof := engine.ActiveProfile()
 	doc := struct {
-		Experiment    string `json:"experiment"`
-		Title         string `json:"title"`
-		GOMAXPROCS    int    `json:"gomaxprocs"`
-		MinParallelN  int    `json:"planner_min_parallel_n"`
-		RepsPerSample int    `json:"reps_per_sample"`
-		Rows          []row  `json:"rows"`
+		Experiment    string                `json:"experiment"`
+		Title         string                `json:"title"`
+		GOMAXPROCS    int                   `json:"gomaxprocs"`
+		Host          calib.HostFingerprint `json:"host"`
+		ProfileSource string                `json:"profile_source"`
+		MinParallelN  int                   `json:"planner_min_parallel_n"`
+		RepsPerSample int                   `json:"reps_per_sample"`
+		Rows          []row                 `json:"rows"`
 	}{
 		Experiment:    "A4",
 		Title:         "planner crossover: auto vs forced algorithms",
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		MinParallelN:  engine.MinParallelN,
+		Host:          calib.Fingerprint(),
+		ProfileSource: prof.Source(),
+		MinParallelN:  prof.MinParallelN,
 		RepsPerSample: 3,
 	}
 	forced := []engine.Algorithm{engine.Linear, engine.Hopcroft, engine.NativeParallel}
+	// The n-bracket straddles the *active* profile's crossover, so a
+	// re-run under a fitted profile probes the planner exactly where its
+	// decision now flips.
 	ns := sizes(cfg,
-		[]int{engine.MinParallelN / 4, engine.MinParallelN / 2, engine.MinParallelN, 2 * engine.MinParallelN, 4 * engine.MinParallelN},
-		[]int{engine.MinParallelN / 2, engine.MinParallelN, 2 * engine.MinParallelN})
+		[]int{prof.MinParallelN / 4, prof.MinParallelN / 2, prof.MinParallelN, 2 * prof.MinParallelN, 4 * prof.MinParallelN},
+		[]int{prof.MinParallelN / 2, prof.MinParallelN, 2 * prof.MinParallelN})
 	best := func(req engine.Request, in coarsest.Instance) (engine.Outcome, int64) {
 		var out engine.Outcome
 		bestNS := int64(1) << 62
@@ -813,17 +823,19 @@ func A5Coalescing(cfg Config) {
 		Agree         bool    `json:"agree"`
 	}
 	doc := struct {
-		Experiment  string `json:"experiment"`
-		Title       string `json:"title"`
-		GOMAXPROCS  int    `json:"gomaxprocs"`
-		MaxWaitUS   int64  `json:"batch_max_wait_us"`
-		MaxSize     int    `json:"batch_max_size"`
-		Concurrency int    `json:"concurrency"`
-		Rows        []row  `json:"rows"`
+		Experiment  string                `json:"experiment"`
+		Title       string                `json:"title"`
+		GOMAXPROCS  int                   `json:"gomaxprocs"`
+		Host        calib.HostFingerprint `json:"host"`
+		MaxWaitUS   int64                 `json:"batch_max_wait_us"`
+		MaxSize     int                   `json:"batch_max_size"`
+		Concurrency int                   `json:"concurrency"`
+		Rows        []row                 `json:"rows"`
 	}{
 		Experiment:  "A5",
 		Title:       "coalescing front door: micro-batched vs per-request small solves",
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Host:        calib.Fingerprint(),
 		MaxWaitUS:   1000,
 		MaxSize:     64,
 		Concurrency: 64,
@@ -999,6 +1011,37 @@ func A5Coalescing(cfg Config) {
 			r.AvgBatch = float64(members) / float64(flushes)
 		}
 		doc.Rows = append(doc.Rows, r)
+	}
+	enc := json.NewEncoder(cfg.Out)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// A6Calibration runs the condensed calibration experiment (internal/calib)
+// on this host and emits the fitted profile together with the crossover
+// and worker-scaling curves it was read off — the BENCH_A6.json trajectory
+// snapshot each perf PR checks in. The fit is budget-bounded; a truncated
+// report says so rather than extrapolating.
+func A6Calibration(cfg Config) {
+	budget := 3 * time.Second
+	if cfg.Quick {
+		budget = 750 * time.Millisecond
+	}
+	rep, err := calib.Calibrate(context.Background(), calib.Options{Budget: budget, Seed: cfg.Seed})
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "{\"experiment\":\"A6\",\"error\":%q}\n", err.Error())
+		return
+	}
+	doc := struct {
+		Experiment string `json:"experiment"`
+		Title      string `json:"title"`
+		BudgetMS   int64  `json:"budget_ms"`
+		*calib.Report
+	}{
+		Experiment: "A6",
+		Title:      "planner calibration: fitted profile and the measured curves behind it",
+		BudgetMS:   budget.Milliseconds(),
+		Report:     rep,
 	}
 	enc := json.NewEncoder(cfg.Out)
 	enc.SetIndent("", "  ")

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"sfcp/internal/calib"
 	"sfcp/internal/coarsest"
 	"sfcp/internal/workload"
 )
@@ -101,7 +102,7 @@ func TestCrossoverRules(t *testing.T) {
 	}{
 		{"below crossover, wide budget", small, 64, Linear, 1},
 		{"above crossover, single core", big, 1, Linear, 1},
-		{"above crossover, wide budget", big, 64, NativeParallel, 4 * MinParallelN / workerGrain},
+		{"above crossover, wide budget", big, 64, NativeParallel, 4 * MinParallelN / calib.DefaultWorkerGrain},
 	}
 	for _, tc := range cases {
 		plan, err := MakePlan(tc.in, Request{Algorithm: Auto, Workers: tc.workers})
@@ -140,7 +141,7 @@ func TestExplicitPlans(t *testing.T) {
 		t.Errorf("explicit worker count overridden: %d", explicit.Workers)
 	}
 	scaled, _ := MakePlan(in, Request{Algorithm: NativeParallel})
-	if want := scaleWorkers(len(in.F), 1<<30); scaled.Workers > want {
+	if want := scaleWorkers(len(in.F), 1<<30, calib.Default()); scaled.Workers > want {
 		t.Errorf("unstated worker budget not size-scaled: %d > %d", scaled.Workers, want)
 	}
 }

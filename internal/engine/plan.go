@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
+	"sfcp/internal/calib"
 	"sfcp/internal/coarsest"
 	"sfcp/internal/par"
 	"sfcp/internal/pram"
@@ -13,28 +15,50 @@ import (
 
 // Planner calibration. The crossover model comes from measuring
 // LinearSequential against NativeParallel on random-function and
-// permutation workloads (regenerate with `sfcpbench -exp A4`): on one core
-// the parallel solver is 1.9–2.1x slower at n=2^10 and 5–7.6x slower at
-// n=2^20 — its pointer-doubling structure discovery does ~log2(n)
-// near-linear passes, each costing roughly a third of the linear solver's
-// single pass. It therefore needs about log2(n)/3 effective cores to break
-// even, and below MinParallelN the goroutine fan-out and barrier overhead
+// permutation workloads (regenerate with `sfcpbench -exp A4`, or re-fit
+// for this host with `sfcpbench -calibrate`): on one core the parallel
+// solver is 1.9–2.1x slower at n=2^10 and 5–7.6x slower at n=2^20 — its
+// pointer-doubling structure discovery does ~log2(n) near-linear passes,
+// each costing roughly a third of the linear solver's single pass. It
+// therefore needs about log2(n)/divisor effective cores to break even,
+// and below the crossover size the goroutine fan-out and barrier overhead
 // dominate regardless of core count.
+//
+// The default thresholds live in internal/calib (the one home of the
+// crossover constants); a host-fitted calib.Profile injected via
+// SetProfile — or passed directly to MakePlanWithProfile — replaces them.
 const (
-	// MinParallelN is the instance size below which Auto never picks the
-	// goroutine-parallel solver.
-	MinParallelN = 1 << 15
-	// breakEvenLogDivisor: NativeParallel needs ~log2(n)/3 effective cores
-	// to match the sequential linear-time solver's O(n) single pass.
-	breakEvenLogDivisor = 3
-	// minParallelCores is the floor on that break-even estimate: with
+	// MinParallelN is the default instance size below which Auto never
+	// picks the goroutine-parallel solver. A calibrated profile overrides
+	// it per host; this constant remains the zero-config fallback and the
+	// public crossover landmark (sfcp.LinearCrossoverN).
+	MinParallelN = calib.DefaultMinParallelN
+	// minParallelCores is the floor on the break-even estimate: with
 	// fewer than two cores the parallel solver cannot win at any size.
 	minParallelCores = 2
-	// workerGrain is the target elements per worker; spreading fewer than
-	// this across extra goroutines costs more in startup and barriers than
-	// the added parallelism returns.
-	workerGrain = 1 << 14
 )
+
+// activeProfile is the process-wide planner profile. Nil means the
+// built-in defaults; SetProfile stores a fitted one. Reads are on every
+// Auto plan, so the pointer is atomic rather than locked.
+var activeProfile atomic.Pointer[calib.Profile]
+
+// SetProfile installs the planner profile consulted by MakePlan,
+// MakeBatchPlan and Run. Passing nil reverts to the built-in defaults.
+// The profile must be valid (calib.Profile.Validate) — planners divide
+// by its fields.
+func SetProfile(p *calib.Profile) {
+	activeProfile.Store(p)
+}
+
+// ActiveProfile returns the profile the planner is currently consulting;
+// never nil (the default profile stands in when none was injected).
+func ActiveProfile() *calib.Profile {
+	if p := activeProfile.Load(); p != nil {
+		return p
+	}
+	return calib.Default()
+}
 
 // Probe sampling budgets. Sampling is by fixed stride — never randomized —
 // so identical instances always produce identical features and plans.
@@ -129,12 +153,14 @@ type Request struct {
 
 // Plan is a resolved, explainable execution decision. Algorithm is always
 // concrete (never Auto) and Workers is the exact goroutine count the
-// parallel solvers will use.
+// parallel solvers will use. ProfileSource names the threshold source the
+// decision consulted ("calibrated" or "default").
 type Plan struct {
-	Algorithm Algorithm `json:"algorithm"`
-	Workers   int       `json:"workers"`
-	Reason    string    `json:"reason"`
-	Features  Features  `json:"features"`
+	Algorithm     Algorithm `json:"algorithm"`
+	Workers       int       `json:"workers"`
+	Reason        string    `json:"reason"`
+	ProfileSource string    `json:"profile_source,omitempty"`
+	Features      Features  `json:"features"`
 }
 
 // Timings reports where a solve spent its time, stage by stage.
@@ -156,9 +182,10 @@ type Outcome struct {
 }
 
 // coresToBreakEven estimates how many effective cores NativeParallel needs
-// to match the sequential linear solver on an n-element instance.
-func coresToBreakEven(n int) int {
-	need := bits.Len(uint(n)) / breakEvenLogDivisor
+// to match the sequential linear solver on an n-element instance, using
+// the profile's fitted log-divisor.
+func coresToBreakEven(n int, p *calib.Profile) int {
+	need := bits.Len(uint(n)) / p.BreakEvenLogDivisor
 	if need < minParallelCores {
 		need = minParallelCores
 	}
@@ -166,9 +193,9 @@ func coresToBreakEven(n int) int {
 }
 
 // scaleWorkers sizes the goroutine count to the instance: one worker per
-// workerGrain elements, within the budget.
-func scaleWorkers(n, budget int) int {
-	w := n / workerGrain
+// profile-grain elements, within the budget.
+func scaleWorkers(n, budget int, p *calib.Profile) int {
+	w := n / p.WorkerGrain
 	if w < 1 {
 		w = 1
 	}
@@ -178,31 +205,55 @@ func scaleWorkers(n, budget int) int {
 	return w
 }
 
-// MakePlan resolves a request against a validated instance. Explicit
-// algorithm choices are honored as-is (only the worker count is resolved);
-// Auto runs the probe and applies the calibrated crossover. Plans are
-// deterministic in (instance, request).
+// workerBudget resolves the goroutine budget for a request under a
+// profile: an explicit request is an instruction and passes through
+// untouched; an unstated one (Workers==0) starts at the host core count
+// and is capped at the profile's measured bandwidth knee — past
+// MaxUsefulWorkers, added goroutines queue on memory, not compute.
+func workerBudget(reqWorkers int, p *calib.Profile) int {
+	budget := par.Workers(reqWorkers)
+	if reqWorkers == 0 && p.MaxUsefulWorkers > 0 && budget > p.MaxUsefulWorkers {
+		budget = p.MaxUsefulWorkers
+	}
+	return budget
+}
+
+// MakePlan resolves a request against a validated instance using the
+// process-wide active profile (SetProfile). Explicit algorithm choices
+// are honored as-is (only the worker count is resolved); Auto runs the
+// probe and applies the profile's crossover. Plans are deterministic in
+// (instance, request, profile).
 func MakePlan(in coarsest.Instance, req Request) (Plan, error) {
+	return MakePlanWithProfile(in, req, ActiveProfile())
+}
+
+// MakePlanWithProfile is MakePlan against an explicit profile, for
+// callers (and tests) that must not depend on process-wide state. A nil
+// profile means the built-in defaults.
+func MakePlanWithProfile(in coarsest.Instance, req Request, prof *calib.Profile) (Plan, error) {
+	if prof == nil {
+		prof = calib.Default()
+	}
 	n := len(in.F)
 	if req.Algorithm != Auto {
 		if _, ok := dispatch[req.Algorithm]; !ok {
 			return Plan{}, fmt.Errorf("sfcp: unknown algorithm %v", req.Algorithm)
 		}
 		p := Plan{
-			Algorithm: req.Algorithm,
-			Workers:   1,
-			Reason:    fmt.Sprintf("explicit %s request", req.Algorithm),
-			Features:  Features{N: n},
+			Algorithm:     req.Algorithm,
+			Workers:       1,
+			Reason:        fmt.Sprintf("explicit %s request", req.Algorithm),
+			ProfileSource: prof.Source(),
+			Features:      Features{N: n},
 		}
 		switch req.Algorithm {
 		case NativeParallel:
-			budget := par.Workers(req.Workers)
 			if req.Workers == 0 {
 				// An unstated budget is scaled to the instance; an explicit
 				// one is an instruction, not a hint.
-				p.Workers = scaleWorkers(n, budget)
+				p.Workers = scaleWorkers(n, workerBudget(0, prof), prof)
 			} else {
-				p.Workers = budget
+				p.Workers = par.Workers(req.Workers)
 			}
 		case ParallelPRAM, DoublingHash, DoublingSort:
 			p.Workers = par.Workers(req.Workers)
@@ -211,47 +262,61 @@ func MakePlan(in coarsest.Instance, req Request) (Plan, error) {
 	}
 
 	ft := Probe(in)
-	budget := par.Workers(req.Workers)
-	need := coresToBreakEven(n)
+	budget := workerBudget(req.Workers, prof)
+	need := coresToBreakEven(n, prof)
+	src := prof.Source()
 	switch {
-	case n < MinParallelN:
+	case n < prof.MinParallelN:
 		return Plan{
-			Algorithm: Linear,
-			Workers:   1,
-			Reason: fmt.Sprintf("auto: n=%d below parallel crossover %d; sequential linear-time solver avoids goroutine fan-out",
-				n, MinParallelN),
+			Algorithm:     Linear,
+			Workers:       1,
+			ProfileSource: src,
+			Reason: fmt.Sprintf("auto: n=%d below parallel crossover %d [%s profile]; sequential linear-time solver avoids goroutine fan-out",
+				n, prof.MinParallelN, src),
 			Features: ft,
 		}, nil
 	case budget < need:
 		return Plan{
-			Algorithm: Linear,
-			Workers:   1,
-			Reason: fmt.Sprintf("auto: worker budget %d under break-even ~log2(n)/%d = %d cores at n=%d; sequential linear-time solver",
-				budget, breakEvenLogDivisor, need, n),
+			Algorithm:     Linear,
+			Workers:       1,
+			ProfileSource: src,
+			Reason: fmt.Sprintf("auto: worker budget %d under break-even ~log2(n)/%d = %d cores at n=%d [%s profile]; sequential linear-time solver",
+				budget, prof.BreakEvenLogDivisor, need, n, src),
 			Features: ft,
 		}, nil
 	default:
-		w := scaleWorkers(n, budget)
+		w := scaleWorkers(n, budget, prof)
 		return Plan{
-			Algorithm: NativeParallel,
-			Workers:   w,
-			Reason: fmt.Sprintf("auto: n=%d at or above crossover %d and budget %d covers break-even %d cores; native-parallel with %d workers (~%d elements each)",
-				n, MinParallelN, budget, need, w, n/w),
+			Algorithm:     NativeParallel,
+			Workers:       w,
+			ProfileSource: src,
+			Reason: fmt.Sprintf("auto: n=%d at or above crossover %d and budget %d covers break-even %d cores [%s profile]; native-parallel with %d workers (~%d elements each)",
+				n, prof.MinParallelN, budget, need, src, w, n/w),
 			Features: ft,
 		}, nil
 	}
 }
 
-// MakeBatchPlan resolves one plan for a coalesced batch of instances: the
-// batch — not each member — is the planning unit, so N tiny requests pay
-// for one resolution instead of N probes. Auto plans by the largest member
-// (a batch of all-small instances runs one sequential linear pass per
-// member under a shared scratch arena; if any member reaches the parallel
-// crossover the whole batch gets the parallel plan that member needs);
-// explicit algorithms are honored as in MakePlan, with workers resolved
-// against the largest member. Features.N reports the batch's total
-// elements. Plans are deterministic in (instances, request).
+// MakeBatchPlan resolves one plan for a coalesced batch of instances
+// using the process-wide active profile: the batch — not each member — is
+// the planning unit, so N tiny requests pay for one resolution instead of
+// N probes. Auto plans by the largest member (a batch of all-small
+// instances runs one sequential linear pass per member under a shared
+// scratch arena; if any member reaches the parallel crossover the whole
+// batch gets the parallel plan that member needs); explicit algorithms
+// are honored as in MakePlan, with workers resolved against the largest
+// member. Features.N reports the batch's total elements. Plans are
+// deterministic in (instances, request, profile).
 func MakeBatchPlan(ins []coarsest.Instance, req Request) (Plan, error) {
+	return MakeBatchPlanWithProfile(ins, req, ActiveProfile())
+}
+
+// MakeBatchPlanWithProfile is MakeBatchPlan against an explicit profile.
+// A nil profile means the built-in defaults.
+func MakeBatchPlanWithProfile(ins []coarsest.Instance, req Request, prof *calib.Profile) (Plan, error) {
+	if prof == nil {
+		prof = calib.Default()
+	}
 	if len(ins) == 0 {
 		return Plan{}, fmt.Errorf("sfcp: empty batch")
 	}
@@ -270,7 +335,7 @@ func MakeBatchPlan(ins []coarsest.Instance, req Request) (Plan, error) {
 				largest = in
 			}
 		}
-		p, err := MakePlan(largest, req)
+		p, err := MakePlanWithProfile(largest, req, prof)
 		if err != nil {
 			return Plan{}, err
 		}
@@ -280,32 +345,36 @@ func MakeBatchPlan(ins []coarsest.Instance, req Request) (Plan, error) {
 		return p, nil
 	}
 	ft := Features{N: totalN}
-	if maxN < MinParallelN {
+	src := prof.Source()
+	if maxN < prof.MinParallelN {
 		return Plan{
-			Algorithm: Linear,
-			Workers:   1,
-			Reason: fmt.Sprintf("auto: coalesced batch of %d members (max n=%d, total n=%d) below parallel crossover %d; one sequential linear pass per member under a shared scratch arena",
-				len(ins), maxN, totalN, MinParallelN),
+			Algorithm:     Linear,
+			Workers:       1,
+			ProfileSource: src,
+			Reason: fmt.Sprintf("auto: coalesced batch of %d members (max n=%d, total n=%d) below parallel crossover %d [%s profile]; one sequential linear pass per member under a shared scratch arena",
+				len(ins), maxN, totalN, prof.MinParallelN, src),
 			Features: ft,
 		}, nil
 	}
-	budget := par.Workers(req.Workers)
-	need := coresToBreakEven(maxN)
+	budget := workerBudget(req.Workers, prof)
+	need := coresToBreakEven(maxN, prof)
 	if budget < need {
 		return Plan{
-			Algorithm: Linear,
-			Workers:   1,
-			Reason: fmt.Sprintf("auto: coalesced batch of %d members; worker budget %d under break-even %d cores at max n=%d; sequential linear-time solver",
-				len(ins), budget, need, maxN),
+			Algorithm:     Linear,
+			Workers:       1,
+			ProfileSource: src,
+			Reason: fmt.Sprintf("auto: coalesced batch of %d members; worker budget %d under break-even %d cores at max n=%d [%s profile]; sequential linear-time solver",
+				len(ins), budget, need, maxN, src),
 			Features: ft,
 		}, nil
 	}
-	w := scaleWorkers(maxN, budget)
+	w := scaleWorkers(maxN, budget, prof)
 	return Plan{
-		Algorithm: NativeParallel,
-		Workers:   w,
-		Reason: fmt.Sprintf("auto: coalesced batch of %d members with max n=%d at or above crossover %d; native-parallel with %d workers per member",
-			len(ins), maxN, MinParallelN, w),
+		Algorithm:     NativeParallel,
+		Workers:       w,
+		ProfileSource: src,
+		Reason: fmt.Sprintf("auto: coalesced batch of %d members with max n=%d at or above crossover %d [%s profile]; native-parallel with %d workers per member",
+			len(ins), maxN, prof.MinParallelN, src, w),
 		Features: ft,
 	}, nil
 }

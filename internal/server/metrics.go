@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sfcp"
 	"sfcp/internal/jobs"
 )
 
@@ -46,6 +47,13 @@ const (
 	metricBatcherFlushesTotal      = "sfcpd_batcher_flushes_total"
 	metricBatcherQueueSecondsSum   = "sfcpd_batcher_queue_seconds_sum"
 	metricBatcherQueueSecondsCount = "sfcpd_batcher_queue_seconds_count"
+
+	// Calibration families: whether the planner is steering by a fitted
+	// profile (1) or the built-in defaults (0), and the active profile's
+	// threshold fields so a scrape shows the exact numbers behind every
+	// plan this host resolves.
+	metricPlanCalibrated = "sfcpd_plan_calibrated"
+	metricPlanProfile    = "sfcpd_plan_profile"
 )
 
 // typeHeader renders one family's exposition-format type line.
@@ -261,6 +269,30 @@ func renderJobs(c jobs.Counts) string {
 	emit("%s %d\n", metricJobsQueued, c.Queued)
 	emit(typeHeader(metricJobsRunning, "gauge"))
 	emit("%s %d\n", metricJobsRunning, c.Running)
+	return string(b)
+}
+
+// renderCalibration writes the planner-profile gauges from the profile
+// the planner is consulting right now (process-wide state owned by the
+// engine, so — like renderJobs — the metrics mutex has nothing to guard).
+func renderCalibration(p *sfcp.CalibrationProfile) string {
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	calibrated := 0
+	if p != nil && p.Calibrated {
+		calibrated = 1
+	}
+	emit(typeHeader(metricPlanCalibrated, "gauge"))
+	emit("%s %d\n", metricPlanCalibrated, calibrated)
+	emit(typeHeader(metricPlanProfile, "gauge"))
+	if p != nil {
+		emit("%s{field=%q} %d\n", metricPlanProfile, "min_parallel_n", p.MinParallelN)
+		emit("%s{field=%q} %d\n", metricPlanProfile, "break_even_log_divisor", p.BreakEvenLogDivisor)
+		emit("%s{field=%q} %d\n", metricPlanProfile, "worker_grain", p.WorkerGrain)
+		emit("%s{field=%q} %d\n", metricPlanProfile, "max_useful_workers", p.MaxUsefulWorkers)
+	}
 	return string(b)
 }
 

@@ -3,6 +3,7 @@
 //
 //	POST /solve        one instance
 //	POST /solve/batch  many instances, solved concurrently
+//	POST /calibrate    re-fit the planner's calibration profile on this host
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus-style counters
 //
@@ -38,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sfcp"
@@ -87,6 +89,17 @@ type Config struct {
 	// (default sfcp.LinearCrossoverN - 1, the planner's whole
 	// sequential-linear regime).
 	BatchMaxN int
+	// CalibrationFile, when set, is where POST /calibrate persists the
+	// fitted planner profile (atomic rewrite). Loading it at startup is
+	// the binary's job (sfcpd -calibration-file does both).
+	CalibrationFile string
+	// CalibrateBudget bounds the wall clock of a POST /calibrate fit
+	// (default 3s; requests may lower it with ?budget=).
+	CalibrateBudget time.Duration
+	// CalibrateOnStart runs a bounded calibration fit in New, before the
+	// server takes traffic, and installs (and persists, when
+	// CalibrationFile is set) the fitted profile.
+	CalibrateOnStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMaxN <= 0 {
 		c.BatchMaxN = sfcp.LinearCrossoverN - 1
+	}
+	if c.CalibrateBudget <= 0 {
+		c.CalibrateBudget = 3 * time.Second
 	}
 	return c
 }
@@ -192,9 +208,17 @@ type Server struct {
 	// cancels the lifecycle context it derives from.
 	coalescer *batcher.Batcher
 	stop      context.CancelFunc
+
+	// calibrating serializes POST /calibrate: a fit saturates the solver
+	// cores by design, so a second concurrent one would only corrupt both
+	// measurements. CAS, not a mutex — the loser gets a 409, not a queue.
+	calibrating atomic.Bool
 }
 
-// New builds a ready-to-serve Server.
+// New builds a ready-to-serve Server. When cfg names a calibration file
+// it is loaded (leniently — a bad file degrades to the default profile)
+// and, with CalibrateOnStart, a bounded fit runs before the first
+// request can arrive.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -246,10 +270,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /calibrate", s.handleCalibrate)
 	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	s.initCalibration()
 	return s
 }
 
@@ -279,6 +305,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.metrics.render())
 	fmt.Fprint(w, renderJobs(s.jobs.Counts()))
+	fmt.Fprint(w, renderCalibration(sfcp.ActiveCalibrationProfile()))
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
