@@ -42,7 +42,7 @@ func (e *errTrackWriter) Write(p []byte) (int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A6)")
+	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A7)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	list := flag.Bool("list", false, "list experiments")

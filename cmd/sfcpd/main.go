@@ -26,11 +26,11 @@
 // Usage:
 //
 //	sfcpd [-addr :8080] [-pool-workers 2] [-queue 8] [-cache 1024]
-//	      [-max-n 1048576] [-max-batch 256] [-workers 0] [-seed 0]
-//	      [-job-ttl 10m] [-job-queue 1024]
+//	      [-cache-bytes 0] [-max-n 1048576] [-max-batch 256] [-workers 0]
+//	      [-seed 0] [-job-ttl 10m] [-job-queue 1024]
 //	      [-batch-wait 1ms] [-batch-size 64] [-batch-max-n 32767]
 //	      [-calibration-file profile.json] [-calibrate-on-start]
-//	      [-calibrate-budget 3s]
+//	      [-calibrate-budget 3s] [-data-dir path] [-spill-n 65536]
 //
 // Small solves (auto or linear requests up to -batch-max-n elements) are
 // coalesced: concurrent requests accumulate for up to -batch-wait or
@@ -45,6 +45,14 @@
 // persists to the calibration file when one is set), and POST /calibrate
 // re-fits a running daemon. /metrics reports sfcpd_plan_calibrated and
 // the active thresholds.
+//
+// -data-dir opts into tiered durable storage: async jobs journal to
+// <dir>/jobs.journal, and instance payloads plus solved results persist
+// content-addressed under <dir>/blobs. A restart over the same
+// directory re-queues interrupted jobs and serves finished results from
+// disk; instances of -spill-n or more elements release their payloads
+// from RAM once persisted. Without -data-dir everything stays in memory
+// exactly as before.
 package main
 
 import (
@@ -55,15 +63,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"sfcp/internal/server"
+	"sfcp/internal/store"
 )
 
-// parseFlags binds sfcpd's command line to a listen address and a server
-// configuration.
-func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config, err error) {
+// parseFlags binds sfcpd's command line to a listen address, a data
+// directory (empty = in-memory only) and a server configuration. The
+// caller opens the stores; this stays a pure flag mapping.
+func parseFlags(fs *flag.FlagSet, args []string) (addr, dataDir string, cfg server.Config, err error) {
 	a := fs.String("addr", ":8080", "listen address")
 	poolWorkers := fs.Int("pool-workers", 2, "solver goroutines per algorithm queue")
 	queue := fs.Int("queue", 0, "pending jobs per algorithm queue (0 = 4x pool-workers)")
@@ -81,10 +92,13 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 	calibFile := fs.String("calibration-file", "", "planner calibration profile to load at startup and persist fits to")
 	calibOnStart := fs.Bool("calibrate-on-start", false, "run a bounded calibration fit before serving")
 	calibBudget := fs.Duration("calibrate-budget", 0, "wall-clock budget per calibration fit (0 = 3s default)")
+	dir := fs.String("data-dir", "", "directory for the durable job journal and blob tier (empty = in-memory only)")
+	spillN := fs.Int("spill-n", 0, "instance size at which payloads and results spill to the blob tier (0 = 65536 default; needs -data-dir)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte budget (0 = entry-count bound only)")
 	if err := fs.Parse(args); err != nil {
-		return "", server.Config{}, err
+		return "", "", server.Config{}, err
 	}
-	return *a, server.Config{
+	return *a, *dir, server.Config{
 		WorkersPerAlgorithm: *poolWorkers,
 		QueueDepth:          *queue,
 		CacheSize:           *cacheSize,
@@ -101,13 +115,48 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr string, cfg server.Config
 		CalibrationFile:     *calibFile,
 		CalibrateOnStart:    *calibOnStart,
 		CalibrateBudget:     *calibBudget,
+		SpillN:              *spillN,
+		CacheBytes:          *cacheBytes,
 	}, nil
 }
 
+// openDataDir opens (creating as needed) the durable stores under dir:
+// the append-only job journal and the content-addressed blob tier. The
+// journal's Close flushes its file handle; the blob store needs no
+// close (every write is temp+rename).
+func openDataDir(dir string, logf func(string, ...any)) (*store.FileJobStore, *store.FileBlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	journal, err := store.OpenFileJobStore(filepath.Join(dir, "jobs.journal"), logf)
+	if err != nil {
+		return nil, nil, err
+	}
+	blobs, err := store.OpenFileBlobStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		journal.Close()
+		return nil, nil, err
+	}
+	return journal, blobs, nil
+}
+
 func main() {
-	addr, cfg, err := parseFlags(flag.CommandLine, os.Args[1:])
+	addr, dataDir, cfg, err := parseFlags(flag.CommandLine, os.Args[1:])
 	if err != nil {
 		fatal(err)
+	}
+	var journal *store.FileJobStore
+	if dataDir != "" {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sfcpd: "+format+"\n", args...)
+		}
+		j, blobs, err := openDataDir(dataDir, cfg.Logf)
+		if err != nil {
+			fatal(err)
+		}
+		journal = j
+		cfg.JobStore, cfg.BlobStore = journal, blobs
+		fmt.Fprintf(os.Stderr, "sfcpd: durable storage at %s\n", dataDir)
 	}
 	srv := server.New(cfg)
 	httpSrv := &http.Server{
@@ -134,6 +183,11 @@ func main() {
 		fatal(err)
 	}
 	srv.Close()
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

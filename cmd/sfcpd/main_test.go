@@ -8,38 +8,46 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"sfcp"
 	"sfcp/internal/codec"
 	"sfcp/internal/server"
+	"sfcp/internal/store"
 	"sfcp/internal/workload"
 )
 
 func TestParseFlags(t *testing.T) {
 	t.Run("defaults", func(t *testing.T) {
-		addr, cfg, err := parseFlags(flag.NewFlagSet("sfcpd", flag.ContinueOnError), nil)
+		addr, dataDir, cfg, err := parseFlags(flag.NewFlagSet("sfcpd", flag.ContinueOnError), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if addr != ":8080" {
 			t.Errorf("addr = %q", addr)
 		}
+		if dataDir != "" {
+			t.Errorf("dataDir = %q, want in-memory default", dataDir)
+		}
 		if cfg.WorkersPerAlgorithm != 2 || cfg.CacheSize != 1024 || cfg.MaxN != 1<<20 ||
 			cfg.MaxBatch != 256 || cfg.MaxBodyBytes != 64<<20 || cfg.QueueDepth != 0 ||
 			cfg.JobTTL != 10*time.Minute || cfg.JobMaxQueued != 1024 ||
-			cfg.BatchMaxWait != 0 || cfg.BatchMaxSize != 0 || cfg.BatchMaxN != 0 {
+			cfg.BatchMaxWait != 0 || cfg.BatchMaxSize != 0 || cfg.BatchMaxN != 0 ||
+			cfg.SpillN != 0 || cfg.CacheBytes != 0 || cfg.JobStore != nil || cfg.BlobStore != nil {
 			t.Errorf("defaults mis-mapped: %+v", cfg)
 		}
 	})
 	t.Run("overrides", func(t *testing.T) {
-		addr, cfg, err := parseFlags(flag.NewFlagSet("sfcpd", flag.ContinueOnError), []string{
+		addr, dataDir, cfg, err := parseFlags(flag.NewFlagSet("sfcpd", flag.ContinueOnError), []string{
 			"-addr", ":9999", "-pool-workers", "5", "-queue", "7", "-cache", "-1",
 			"-max-n", "50", "-max-batch", "3", "-workers", "4", "-seed", "11",
 			"-max-body", "1024", "-job-ttl", "90s", "-job-queue", "17",
 			"-batch-wait", "250us", "-batch-size", "32", "-batch-max-n", "2048",
+			"-data-dir", "/tmp/sfcpd-data", "-spill-n", "512", "-cache-bytes", "4096",
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -49,36 +57,64 @@ func TestParseFlags(t *testing.T) {
 			MaxBatch: 3, Workers: 4, Seed: 11, MaxBodyBytes: 1024,
 			JobTTL: 90 * time.Second, JobMaxQueued: 17,
 			BatchMaxWait: 250 * time.Microsecond, BatchMaxSize: 32, BatchMaxN: 2048,
+			SpillN: 512, CacheBytes: 4096,
 		}
-		if addr != ":9999" || cfg != want {
-			t.Errorf("got addr=%q cfg=%+v, want addr=\":9999\" cfg=%+v", addr, cfg, want)
+		if addr != ":9999" || dataDir != "/tmp/sfcpd-data" || !reflect.DeepEqual(cfg, want) {
+			t.Errorf("got addr=%q dataDir=%q cfg=%+v, want addr=\":9999\" cfg=%+v", addr, dataDir, cfg, want)
 		}
 	})
 	t.Run("bad flag", func(t *testing.T) {
 		fs := flag.NewFlagSet("sfcpd", flag.ContinueOnError)
 		fs.SetOutput(io.Discard)
-		if _, _, err := parseFlags(fs, []string{"-max-n", "lots"}); err == nil {
+		if _, _, _, err := parseFlags(fs, []string{"-max-n", "lots"}); err == nil {
 			t.Error("bad flag value accepted")
 		}
 	})
 }
 
 // newDaemon builds the daemon exactly as main does — command line through
-// parseFlags into server.New — and serves it over httptest.
+// parseFlags (opening -data-dir stores when given) into server.New — and
+// serves it over httptest.
 func newDaemon(t *testing.T, args ...string) *httptest.Server {
 	t.Helper()
+	ts, _ := newDaemonCloser(t, args...)
+	return ts
+}
+
+// newDaemonCloser is newDaemon plus an explicit shutdown for tests that
+// restart the daemon mid-test; the returned func is idempotent and also
+// registered as cleanup.
+func newDaemonCloser(t *testing.T, args ...string) (*httptest.Server, func()) {
+	t.Helper()
 	fs := flag.NewFlagSet("sfcpd", flag.ContinueOnError)
-	_, cfg, err := parseFlags(fs, args)
+	_, dataDir, cfg, err := parseFlags(fs, args)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var journal *store.FileJobStore
+	if dataDir != "" {
+		cfg.Logf = t.Logf
+		j, b, err := openDataDir(dataDir, cfg.Logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journal = j
+		cfg.JobStore, cfg.BlobStore = j, b
+	}
 	srv := server.New(cfg)
 	ts := httptest.NewServer(srv)
-	t.Cleanup(func() {
-		ts.Close()
-		srv.Close()
-	})
-	return ts
+	var once sync.Once
+	closer := func() {
+		once.Do(func() {
+			ts.Close()
+			srv.Close()
+			if journal != nil {
+				journal.Close()
+			}
+		})
+	}
+	t.Cleanup(closer)
+	return ts, closer
 }
 
 func encodeBinary(t *testing.T, ins sfcp.Instance) []byte {

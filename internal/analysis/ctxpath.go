@@ -24,6 +24,7 @@ var ctxScoped = map[string]bool{
 	"sfcp/internal/server":  true,
 	"sfcp/internal/jobs":    true,
 	"sfcp/internal/batcher": true,
+	"sfcp/internal/store":   true,
 	"sfcp/cmd/sfcpd":        true,
 }
 

@@ -30,6 +30,7 @@ var lockScoped = map[string]bool{
 	"sfcp/internal/server":  true,
 	"sfcp/internal/jobs":    true,
 	"sfcp/internal/batcher": true,
+	"sfcp/internal/store":   true,
 }
 
 // lockBlockingIO names callees that perform (or can perform) blocking

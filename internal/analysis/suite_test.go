@@ -22,6 +22,8 @@ func TestCtxPath(t *testing.T) {
 	analysistest.Run(t, analysis.CtxPath, "sfcp/internal/jobs", "testdata/ctxpath/flagged")
 	analysistest.Run(t, analysis.CtxPath, "sfcp/internal/jobs", "testdata/ctxpath/clean")
 	analysistest.Run(t, analysis.CtxPath, "sfcp/cmd/sfcpd", "testdata/ctxpath/cleanmain")
+	analysistest.Run(t, analysis.CtxPath, "sfcp/internal/store", "testdata/ctxpath/storeflagged")
+	analysistest.Run(t, analysis.CtxPath, "sfcp/internal/store", "testdata/ctxpath/storeclean")
 }
 
 // TestCtxPathOutOfScope runs the flagged fixture under an unscoped
@@ -48,6 +50,8 @@ func TestCtxPathOutOfScope(t *testing.T) {
 func TestLockHold(t *testing.T) {
 	analysistest.Run(t, analysis.LockHold, "sfcp/internal/server", "testdata/lockhold/flagged")
 	analysistest.Run(t, analysis.LockHold, "sfcp/internal/server", "testdata/lockhold/clean")
+	analysistest.Run(t, analysis.LockHold, "sfcp/internal/store", "testdata/lockhold/storeflagged")
+	analysistest.Run(t, analysis.LockHold, "sfcp/internal/store", "testdata/lockhold/storeclean")
 }
 
 func TestMetricName(t *testing.T) {

@@ -1,0 +1,25 @@
+// Fixture analyzed under the package path "sfcp/internal/store":
+// contexts always derive from the caller or the store's lifecycle root.
+package store
+
+import (
+	"context"
+	"time"
+)
+
+type blobFetcher struct {
+	lifecycle context.Context
+}
+
+func (b *blobFetcher) fetch(ctx context.Context, key string) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = key
+	return sub.Err()
+}
+
+func (b *blobFetcher) sweep() error {
+	ctx, cancel := context.WithCancel(b.lifecycle)
+	defer cancel()
+	return ctx.Err()
+}

@@ -1,0 +1,23 @@
+// Fixture analyzed under the package path "sfcp/internal/store": store
+// operations run under job and request contexts; minting Background
+// detaches a recovery scan or blob fetch from server shutdown.
+package store
+
+import "context"
+
+type blobFetcher struct {
+	lifecycle context.Context
+}
+
+func (b *blobFetcher) fetch(key string) error {
+	ctx := context.Background() // want "context.Background.. in request/job-scoped package"
+	_ = ctx
+	_ = key
+	return nil
+}
+
+func recoverScan(ctx context.Context) error {
+	sub := context.TODO() // want "a caller context is in scope; use it"
+	_ = sub
+	return nil
+}

@@ -1,0 +1,53 @@
+// Fixture analyzed under the package path "sfcp/internal/store": the
+// sanctioned durable-store patterns — snapshot under the lock, visit
+// and stream outside it, and the explicitly-annotated WAL append (a
+// small buffered write taken under the mutex so one record's
+// transitions can never reach the journal out of order).
+package store
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+type journal struct {
+	mu   sync.Mutex
+	f    io.Writer
+	recs map[string]int
+}
+
+// scan snapshots under the lock and visits outside it, so a slow
+// callback never convoys writers.
+func (j *journal) scan(fn func(int) error) error {
+	j.mu.Lock()
+	out := make([]int, 0, len(j.recs))
+	for _, r := range j.recs {
+		out = append(out, r)
+	}
+	j.mu.Unlock()
+	sort.Ints(out)
+	for _, r := range out {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// put appends its journal line while holding the mutex — the write-ahead
+// ordering guarantee — under an explicit suppression naming the reason.
+func (j *journal) put(id string, v int, line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs[id] = v
+	//sfcpvet:ignore lockhold -- fixture: WAL append; the lock is what orders one record's transitions
+	_, err := j.f.Write(line)
+	return err
+}
+
+// persist streams a payload with no lock held at all.
+func (j *journal) persist(w io.Writer, payload io.Reader) error {
+	_, err := io.Copy(w, payload)
+	return err
+}

@@ -1,0 +1,43 @@
+// Fixture analyzed under the package path "sfcp/internal/store": the
+// durable-store shapes lockhold must catch — journal file I/O and
+// wire-codec encodes inside the store mutex.
+package store
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+type journal struct {
+	mu   sync.Mutex
+	f    io.Writer
+	recs map[string]int
+}
+
+func (j *journal) appendUnderLock(line []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Write(line) // want "I/O call Write while j.mu is locked"
+}
+
+func (j *journal) encodeUnderLock(rec any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	json.NewEncoder(j.f).Encode(rec) // want "I/O call Encode while j.mu is locked"
+}
+
+func (j *journal) copyUnderLock(dst io.Writer, src io.Reader) {
+	j.mu.Lock()
+	io.Copy(dst, src) // want "I/O call Copy while j.mu is locked"
+	j.mu.Unlock()
+}
+
+func (j *journal) visitInsideLock(fn func(int) error, ch chan int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range j.recs {
+		ch <- r // want "channel send while j.mu is locked"
+		_ = fn(r)
+	}
+}

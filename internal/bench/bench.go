@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"A4", "Planner crossover: auto vs forced algorithms (JSON)", A4PlannerCrossover},
 		{"A5", "Coalescing front door: micro-batched vs per-request small solves (JSON)", A5Coalescing},
 		{"A6", "Planner calibration: fitted profile and the measured curves behind it (JSON)", A6Calibration},
+		{"A7", "Tiered storage: blob spill/read throughput and cold-start recovery (JSON)", A7TieredStorage},
 	}
 }
 

@@ -1,8 +1,8 @@
-// Package jobs implements sfcpd's asynchronous job subsystem: a
-// durable-in-memory job store plus a scheduler that feeds the server's
-// per-algorithm solver pools. A client submits an instance and gets a job
-// id back immediately; the solve runs in the background while the client
-// polls status and fetches the result when it is done — so a 10^8-element
+// Package jobs implements sfcpd's asynchronous job subsystem: a job
+// store plus a scheduler that feeds the server's per-algorithm solver
+// pools. A client submits an instance and gets a job id back
+// immediately; the solve runs in the background while the client polls
+// status and fetches the result when it is done — so a 10^8-element
 // upload no longer ties an HTTP connection to a minutes-long synchronous
 // solve, and a client timeout no longer silently wastes the work.
 //
@@ -21,8 +21,24 @@
 // Cancellation is cooperative: cancelling a queued job removes it from the
 // queue; cancelling a running job cancels its context, which the solvers
 // poll between refinement rounds / simulated PRAM steps, so the job
-// reaches the cancelled state within one round. Terminal jobs (and their
-// results) are evicted TTL seconds after finishing by a janitor tick.
+// reaches the cancelled state within one round. Deleting a terminal job
+// releases its result payload immediately; otherwise terminal jobs (and
+// their results) are evicted TTL seconds after finishing by a janitor
+// tick.
+//
+// # Durability
+//
+// With Config.Journal set, every state transition is journaled as a
+// store.JobRecord, and with Config.Blobs set, instance payloads and
+// result labels live in the content-addressed blob tier (codec wire
+// bytes, so integrity rides on the digest trailer). Payloads at or above
+// Config.SpillN elements are released from RAM once safely in the tier.
+// At construction the manager replays the journal: terminal jobs are
+// restored (results served from their blobs), queued and running jobs
+// are re-queued — a crash or restart loses no accepted work. Close in
+// durable mode deliberately leaves non-terminal jobs' records untouched
+// so the next boot re-runs them. Without a journal (the zero-config
+// default) behavior is exactly the historical in-memory semantics.
 package jobs
 
 import (
@@ -32,10 +48,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"sfcp"
+	"sfcp/internal/store"
 )
 
 // State is a job's position in the lifecycle.
@@ -76,6 +94,25 @@ type Config struct {
 	// Tick is the janitor's eviction interval (default 1 second).
 	Tick time.Duration
 
+	// Journal, when non-nil, receives every job state transition and is
+	// replayed at construction to recover jobs across restarts. nil (the
+	// zero-config default) keeps the historical in-memory semantics.
+	Journal store.JobStore
+	// Blobs, when non-nil, holds instance payloads and result labels
+	// content-addressed by the digests the codec already computes.
+	Blobs store.BlobStore
+	// SpillN is the element count at or above which payloads are released
+	// from RAM once persisted to Blobs (default 65536). Results of done
+	// jobs are always persisted when Blobs is set — SpillN only decides
+	// whether the RAM copy is dropped too.
+	SpillN int
+	// DefaultSeed is the seed the solve path applies when a submission
+	// carries none. The manager needs it so persisted result keys match
+	// the keys the server derives for its cache tiers.
+	DefaultSeed uint64
+	// Logf receives recovery and persistence diagnostics (default: discard).
+	Logf func(format string, args ...any)
+
 	// now is the test hook for eviction clocks (default time.Now).
 	now func() time.Time
 }
@@ -93,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.Tick <= 0 {
 		c.Tick = time.Second
 	}
+	if c.SpillN <= 0 {
+		c.SpillN = 1 << 16
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -104,6 +147,15 @@ var ErrQueueFull = errors.New("jobs: queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("jobs: manager closed")
+
+// ErrNotFound is returned by Result for an unknown job id.
+var ErrNotFound = errors.New("jobs: unknown job id")
+
+// ErrResultUnavailable is returned by Result for a done job whose label
+// payload was released from RAM and cannot be read back from the blob
+// tier (deleted out of band, or corrupted — the codec trailer catches
+// the latter).
+var ErrResultUnavailable = errors.New("jobs: result payload unavailable")
 
 // job is the internal record; all fields are guarded by the manager mutex
 // except ins/algo/seed/priority, which are immutable after Submit.
@@ -126,6 +178,18 @@ type job struct {
 	res    sfcp.Result
 	cached bool
 	errMsg string
+
+	// insDigest is the instance's content address (set in durable mode);
+	// spilled means the payload lives only in the blob tier and must be
+	// reloaded before solving. blobRef marks that this job holds a
+	// reference in the manager's instance-blob refcount.
+	insDigest string
+	spilled   bool
+	blobRef   bool
+	// resultKey is the blob key of the persisted labels; resultSpilled
+	// means the RAM copy was released and Result reloads from the tier.
+	resultKey     string
+	resultSpilled bool
 
 	cancelRequested bool
 	cancel          context.CancelFunc // non-nil while running
@@ -162,6 +226,11 @@ type Counts struct {
 	Queued, Running                    int
 	Submitted, Done, Failed, Cancelled int64
 	Evicted                            int64
+	// Requeued and Restored tally journal recovery at boot: non-terminal
+	// jobs put back on their queues, and terminal jobs whose snapshots
+	// (and results, via the blob tier) remain fetchable. Spilled counts
+	// payloads released from RAM into the blob tier.
+	Requeued, Restored, Spilled int64
 }
 
 // Manager owns the job store, the per-algorithm queues and the dispatcher
@@ -177,8 +246,13 @@ type Manager struct {
 	queued int
 	seq    uint64
 	closed bool
+	// insRefs counts live (non-terminal) jobs per instance blob, so a
+	// shared payload is deleted from the tier only when its last job
+	// finishes — and never during shutdown, when the next boot needs it.
+	insRefs map[string]int
 
 	submitted, done, failed, cancelled, evicted int64
+	requeued, restored, spilled                 int64
 	running                                     int
 
 	// lifecycle is the root context every running job's context derives
@@ -193,14 +267,16 @@ type Manager struct {
 }
 
 // New starts a manager with one dispatcher crew per algorithm plus the
-// eviction janitor. solve must be non-nil.
+// eviction janitor. solve must be non-nil. With a journal configured,
+// recovery runs here — before any dispatcher can race it.
 func New(cfg Config, solve SolveFunc) *Manager {
 	m := &Manager{
-		cfg:    cfg.withDefaults(),
-		solve:  solve,
-		jobs:   map[string]*job{},
-		queues: map[sfcp.Algorithm]*jobQueue{},
-		stop:   make(chan struct{}),
+		cfg:     cfg.withDefaults(),
+		solve:   solve,
+		jobs:    map[string]*job{},
+		queues:  map[sfcp.Algorithm]*jobQueue{},
+		insRefs: map[string]int{},
+		stop:    make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	//sfcpvet:ignore ctxpath -- the scheduler's lifecycle root, cancelled in Close; job contexts derive from it
@@ -210,6 +286,9 @@ func New(cfg Config, solve SolveFunc) *Manager {
 	// hold a *Manager yet), so interleaving spawn with population would race.
 	for _, algo := range sfcp.Algorithms() {
 		m.queues[algo] = &jobQueue{}
+	}
+	if m.cfg.Journal != nil {
+		m.recoverFromJournal()
 	}
 	for _, algo := range sfcp.Algorithms() {
 		for d := 0; d < m.cfg.DispatchersPerAlgorithm; d++ {
@@ -222,8 +301,96 @@ func New(cfg Config, solve SolveFunc) *Manager {
 	return m
 }
 
+// recoverFromJournal replays the journal into the store: terminal jobs
+// come back as fetchable snapshots (labels stay in the blob tier),
+// non-terminal jobs go back on their queues with payloads reloaded from
+// the tier at dispatch. Runs before the dispatchers exist, so no lock is
+// needed. Recovery is lenient all the way down: an unreadable record or
+// a missing payload downgrades one job, never the boot.
+func (m *Manager) recoverFromJournal() {
+	err := m.cfg.Journal.Scan(func(rec store.JobRecord) error {
+		if rec.ID == "" || rec.Deleted {
+			return nil
+		}
+		if rec.Seq > m.seq {
+			m.seq = rec.Seq
+		}
+		algo, aerr := sfcp.ParseAlgorithm(rec.Algorithm)
+		if aerr != nil {
+			m.cfg.Logf("jobs: recovery: job %s has unknown algorithm %q; dropping", rec.ID, rec.Algorithm)
+			return nil
+		}
+		j := &job{
+			id:        rec.ID,
+			algo:      algo,
+			seed:      rec.Seed,
+			priority:  rec.Priority,
+			n:         rec.N,
+			seq:       rec.Seq,
+			heapIndex: -1,
+			submitted: rec.SubmittedAt,
+			insDigest: rec.InstanceDigest,
+		}
+		if st := State(rec.State); st.Terminal() {
+			j.state = st
+			j.errMsg = rec.Error
+			j.started = rec.StartedAt
+			j.finished = rec.FinishedAt
+			if st == StateDone {
+				j.cached = rec.Cached
+				j.res.NumClasses = rec.NumClasses
+				if rec.ResolvedAlgorithm != "" {
+					if ra, perr := sfcp.ParseAlgorithm(rec.ResolvedAlgorithm); perr == nil {
+						j.res.Plan = &sfcp.Plan{Algorithm: ra, Workers: rec.PlanWorkers, Reason: rec.PlanReason}
+					}
+				}
+				j.resultKey = rec.ResultKey
+				j.resultSpilled = true // labels live in the blob tier, not RAM
+			}
+			m.jobs[rec.ID] = j
+			m.restored++
+			return nil
+		}
+		// Queued or running at shutdown: run it (again). The payload must
+		// come from the blob tier — RAM did not survive.
+		j.state = StateQueued
+		j.spilled = true
+		has := false
+		if m.cfg.Blobs != nil && rec.InstanceDigest != "" {
+			ok, herr := m.cfg.Blobs.Has(rec.InstanceDigest)
+			has = herr == nil && ok
+		}
+		m.jobs[rec.ID] = j
+		if !has {
+			m.cfg.Logf("jobs: recovery: job %s instance payload %s missing; failing it", rec.ID, rec.InstanceDigest)
+			m.finishLocked(j, StateFailed, "instance payload missing after restart", m.cfg.now())
+			if perr := m.cfg.Journal.Put(m.recordLocked(j)); perr != nil {
+				m.cfg.Logf("jobs: recovery: journaling failed job %s: %v", rec.ID, perr)
+			}
+			return nil
+		}
+		j.blobRef = true
+		m.insRefs[rec.InstanceDigest]++
+		heap.Push(m.queues[algo], j)
+		m.queued++
+		m.requeued++
+		return nil
+	})
+	if err != nil {
+		m.cfg.Logf("jobs: recovery: journal scan: %v", err)
+	}
+	if n := m.cfg.Journal.CorruptSkipped(); n > 0 {
+		m.cfg.Logf("jobs: recovery: journal had %d unreadable entries (skipped)", n)
+	}
+	if m.requeued > 0 || m.restored > 0 {
+		m.cfg.Logf("jobs: recovery: re-queued %d jobs, restored %d terminal snapshots", m.requeued, m.restored)
+	}
+}
+
 // Close cancels running jobs, stops the dispatchers and janitor, and waits
-// for them. Queued jobs transition to cancelled; Submit fails afterwards.
+// for them. Submit fails afterwards. In zero-config mode queued jobs
+// transition to cancelled; in durable mode their journal records stay
+// non-terminal on purpose, so the next boot re-queues and completes them.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -232,17 +399,26 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	durable := m.cfg.Journal != nil
 	now := m.cfg.now()
 	for _, j := range m.jobs {
 		switch j.state {
 		case StateQueued:
+			if durable {
+				continue // the journal record outlives the process
+			}
 			m.queues[j.algo].remove(j)
 			m.queued--
 			m.finishLocked(j, StateCancelled, "server shutting down", now)
 		case StateRunning:
-			// Marked here so the dispatcher records the job as cancelled;
-			// the actual cancellation is the lifecycle shutdown below.
-			j.cancelRequested = true
+			// Zero-config: marked here so the dispatcher records the job as
+			// cancelled. Durable mode skips the mark — if the solve outruns
+			// the lifecycle shutdown below it is recorded as done (work not
+			// wasted), and if interrupted the dispatcher leaves the journal
+			// record non-terminal so the next boot re-runs it.
+			if !durable {
+				j.cancelRequested = true
+			}
 		}
 	}
 	m.shutdown()
@@ -254,23 +430,38 @@ func (m *Manager) Close() {
 
 // Submit enqueues one job and returns its snapshot (the id is fresh and
 // unguessable). It fails fast with ErrQueueFull or ErrClosed; instance
-// validity is the solver's concern and surfaces as a failed job.
+// validity is the solver's concern and surfaces as a failed job. In
+// durable mode the payload is content-addressed and persisted before the
+// job becomes visible, and the submission is journaled.
 func (m *Manager) Submit(algo sfcp.Algorithm, seed *uint64, priority int, ins sfcp.Instance) (Snapshot, error) {
 	id, err := newID()
 	if err != nil {
 		return Snapshot{}, err
 	}
+	var digest string
+	blobbed := false
+	if m.cfg.Journal != nil {
+		// Fail fast before hashing a payload we would then throw away.
+		m.mu.Lock()
+		err := m.admitLocked(algo)
+		m.mu.Unlock()
+		if err != nil {
+			return Snapshot{}, err
+		}
+		// Hashing and blob I/O scale with n — strictly outside the mutex.
+		digest = ins.Digest()
+		if m.cfg.Blobs != nil {
+			if err := m.ensureInstanceBlob(digest, ins); err != nil {
+				m.cfg.Logf("jobs: persisting instance %s for job %s: %v (payload stays RAM-resident)", digest, id, err)
+			} else {
+				blobbed = true
+			}
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
-		return Snapshot{}, ErrClosed
-	}
-	if m.queued >= m.cfg.MaxQueued {
-		return Snapshot{}, fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, m.queued)
-	}
-	q, ok := m.queues[algo]
-	if !ok {
-		return Snapshot{}, fmt.Errorf("jobs: no queue for algorithm %v", algo)
+	if err := m.admitLocked(algo); err != nil {
+		return Snapshot{}, err
 	}
 	m.seq++
 	j := &job{
@@ -283,13 +474,39 @@ func (m *Manager) Submit(algo sfcp.Algorithm, seed *uint64, priority int, ins sf
 		state:     StateQueued,
 		seq:       m.seq,
 		submitted: m.cfg.now(),
+		insDigest: digest,
+	}
+	if blobbed {
+		j.blobRef = true
+		m.insRefs[digest]++
+		if j.n >= m.cfg.SpillN {
+			j.ins = sfcp.Instance{}
+			j.spilled = true
+			m.spilled++
+		}
 	}
 	m.jobs[id] = j
-	heap.Push(q, j)
+	heap.Push(m.queues[algo], j)
 	m.queued++
 	m.submitted++
+	m.journalLocked(j)
 	m.cond.Broadcast()
 	return m.snapshotLocked(j), nil
+}
+
+// admitLocked is the Submit admission check: open, under the queue
+// bound, and a known algorithm.
+func (m *Manager) admitLocked(algo sfcp.Algorithm) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if m.queued >= m.cfg.MaxQueued {
+		return fmt.Errorf("%w: %d jobs waiting", ErrQueueFull, m.queued)
+	}
+	if _, ok := m.queues[algo]; !ok {
+		return fmt.Errorf("jobs: no queue for algorithm %v", algo)
+	}
+	return nil
 }
 
 // Get returns a job's snapshot.
@@ -303,45 +520,94 @@ func (m *Manager) Get(id string) (Snapshot, bool) {
 	return m.snapshotLocked(j), true
 }
 
-// Result returns a done job's result alongside its snapshot. ok is false
-// for unknown ids; a known job that is not done returns ok with a zero
-// Result — callers branch on Snapshot.State.
-func (m *Manager) Result(id string) (sfcp.Result, Snapshot, bool) {
+// Result returns a done job's result alongside its snapshot. Unknown ids
+// return ErrNotFound; a known job that is not done returns a zero Result
+// and a nil error — callers branch on Snapshot.State. A done job whose
+// labels were spilled is reloaded from the blob tier (outside the
+// manager mutex); a payload that cannot be read back surfaces as
+// ErrResultUnavailable with the snapshot still valid.
+func (m *Manager) Result(id string) (sfcp.Result, Snapshot, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
-		return sfcp.Result{}, Snapshot{}, false
+		m.mu.Unlock()
+		return sfcp.Result{}, Snapshot{}, ErrNotFound
 	}
-	if j.state != StateDone {
-		return sfcp.Result{}, m.snapshotLocked(j), true
+	snap := m.snapshotLocked(j)
+	res := j.res
+	spilled, key := j.resultSpilled, j.resultKey
+	m.mu.Unlock()
+	if snap.State != StateDone {
+		return sfcp.Result{}, snap, nil
 	}
-	return j.res, m.snapshotLocked(j), true
+	if !spilled {
+		return res, snap, nil
+	}
+	if m.cfg.Blobs == nil || key == "" {
+		return sfcp.Result{}, snap, fmt.Errorf("%w: job %s has no persisted labels", ErrResultUnavailable, id)
+	}
+	rc, err := m.cfg.Blobs.Get(key)
+	if err != nil {
+		return sfcp.Result{}, snap, fmt.Errorf("%w: job %s: %v", ErrResultUnavailable, id, err)
+	}
+	labels, err := sfcp.DecodeLabelsBinary(rc)
+	rc.Close()
+	if err != nil {
+		return sfcp.Result{}, snap, fmt.Errorf("%w: job %s: %v", ErrResultUnavailable, id, err)
+	}
+	res.Labels = labels
+	return res, snap, nil
 }
 
-// Cancel requests cancellation. Queued jobs are removed and become
-// cancelled immediately; running jobs have their context cancelled and
-// reach the cancelled state when the solver's next cooperative check
-// fires. Terminal jobs are unchanged (cancel is idempotent).
+// Cancel requests cancellation — and, on a terminal job, deletion.
+// Queued jobs are removed and become cancelled immediately; running jobs
+// have their context cancelled and reach the cancelled state when the
+// solver's next cooperative check fires. A terminal job is evicted on
+// the spot: its result payload is released immediately rather than
+// waiting for the TTL janitor, and the returned snapshot is its final
+// pre-deletion state.
 func (m *Manager) Cancel(id string) (Snapshot, bool) {
+	var releaseBlob, dropID string
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return Snapshot{}, false
 	}
+	var snap Snapshot
 	switch j.state {
 	case StateQueued:
 		m.queues[j.algo].remove(j)
 		m.queued--
-		m.finishLocked(j, StateCancelled, "cancelled before start", m.cfg.now())
+		releaseBlob = m.finishLocked(j, StateCancelled, "cancelled before start", m.cfg.now())
+		m.journalLocked(j)
+		snap = m.snapshotLocked(j)
 	case StateRunning:
 		if !j.cancelRequested {
 			j.cancelRequested = true
-			j.cancel()
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		snap = m.snapshotLocked(j)
+	default:
+		// Terminal: delete now. The labels (RAM and, for the snapshot, the
+		// reference) go immediately; the result blob stays — it is the
+		// durable tier, addressed by content, not by job.
+		snap = m.snapshotLocked(j)
+		j.res = sfcp.Result{}
+		delete(m.jobs, id)
+		m.evicted++
+		dropID = id
+	}
+	m.mu.Unlock()
+	m.deleteInstanceBlob(releaseBlob)
+	if dropID != "" && m.cfg.Journal != nil {
+		if err := m.cfg.Journal.Delete(dropID); err != nil {
+			m.cfg.Logf("jobs: deleting journal record %s: %v", dropID, err)
 		}
 	}
-	return m.snapshotLocked(j), true
+	return snap, true
 }
 
 // Counts tallies the store for metrics export.
@@ -356,11 +622,15 @@ func (m *Manager) Counts() Counts {
 		Failed:    m.failed,
 		Cancelled: m.cancelled,
 		Evicted:   m.evicted,
+		Requeued:  m.requeued,
+		Restored:  m.restored,
+		Spilled:   m.spilled,
 	}
 }
 
-// dispatch is one dispatcher goroutine: pop the algorithm's queue, run the
-// solve under the job's cancellable context, finalize.
+// dispatch is one dispatcher goroutine: pop the algorithm's queue, reload
+// a spilled payload, run the solve under the job's cancellable context,
+// persist the result, finalize.
 func (m *Manager) dispatch(algo sfcp.Algorithm) {
 	defer m.wg.Done()
 	for {
@@ -380,40 +650,191 @@ func (m *Manager) dispatch(algo sfcp.Algorithm) {
 		m.running++
 		ctx, cancel := context.WithCancel(m.lifecycle)
 		j.cancel = cancel
+		m.journalLocked(j)
+		ins, spilled, digest := j.ins, j.spilled, j.insDigest
 		m.mu.Unlock()
 
-		res, cached, err := m.solve(ctx, j.algo, j.seed, j.ins)
+		var res sfcp.Result
+		var cached bool
+		var err error
+		if spilled {
+			ins, err = m.loadInstance(digest)
+			if err != nil {
+				err = fmt.Errorf("jobs: reloading instance %s: %w", digest, err)
+			}
+		}
+		if err == nil {
+			res, cached, err = m.solve(ctx, j.algo, j.seed, ins)
+		}
 		cancel()
+
+		// Persist the labels before finalizing, so a journaled done record
+		// never points at a result key that is not yet on disk.
+		var resultKey string
+		if err == nil && m.cfg.Journal != nil && m.cfg.Blobs != nil && digest != "" {
+			var perr error
+			resultKey, perr = m.persistResult(j, res)
+			if perr != nil {
+				m.cfg.Logf("jobs: persisting result for job %s: %v (labels stay RAM-resident)", j.id, perr)
+			}
+		}
 
 		m.mu.Lock()
 		m.running--
 		j.cancel = nil
 		now := m.cfg.now()
+		var releaseBlob string
 		switch {
 		case j.cancelRequested:
 			// The client's DELETE wins even over a solve that slipped past
 			// the last cooperative check: the result is discarded.
-			m.finishLocked(j, StateCancelled, context.Canceled.Error(), now)
+			releaseBlob = m.finishLocked(j, StateCancelled, context.Canceled.Error(), now)
+			m.journalLocked(j)
 		case err != nil:
 			state := StateFailed
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				state = StateCancelled
 			}
-			m.finishLocked(j, state, err.Error(), now)
+			releaseBlob = m.finishLocked(j, state, err.Error(), now)
+			if state == StateCancelled && m.closed {
+				// Shutdown interrupted the solve. Leaving the journal record
+				// non-terminal is deliberate: the next boot re-queues the job
+				// instead of reporting a cancellation nobody asked for.
+			} else {
+				m.journalLocked(j)
+			}
 		default:
 			j.res = res
 			j.cached = cached
-			m.finishLocked(j, StateDone, "", now)
+			j.resultKey = resultKey
+			if resultKey != "" && j.n >= m.cfg.SpillN {
+				j.res.Labels = nil
+				j.resultSpilled = true
+				m.spilled++
+			}
+			releaseBlob = m.finishLocked(j, StateDone, "", now)
+			m.journalLocked(j)
 		}
 		m.mu.Unlock()
+		m.deleteInstanceBlob(releaseBlob)
 	}
+}
+
+// ensureInstanceBlob writes the instance under its content address
+// unless already present. The bytes are the codec wire format, streamed
+// through a pipe so a 10^8-element payload never needs a second
+// in-memory copy.
+func (m *Manager) ensureInstanceBlob(digest string, ins sfcp.Instance) error {
+	if has, err := m.cfg.Blobs.Has(digest); err == nil && has {
+		return nil
+	}
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(ins.EncodeBinary(pw)) }()
+	_, err := m.cfg.Blobs.Put(digest, pr)
+	if err != nil {
+		pr.CloseWithError(err) // unblock the encoder if Put bailed early
+	}
+	return err
+}
+
+// loadInstance streams a spilled payload back from the blob tier. The
+// codec's digest trailer makes a corrupted blob a decode error here —
+// the job fails with a precise message instead of solving garbage.
+func (m *Manager) loadInstance(digest string) (sfcp.Instance, error) {
+	rc, err := m.cfg.Blobs.Get(digest)
+	if err != nil {
+		return sfcp.Instance{}, err
+	}
+	defer rc.Close()
+	return sfcp.DecodeBinary(rc)
+}
+
+// persistResult writes the labels under the result key derived from the
+// resolved plan — the durable twin of the server's cache key, so the
+// server's blob read-through finds job results and vice versa. Already
+// present (the server's write-through got there first) is success.
+func (m *Manager) persistResult(j *job, res sfcp.Result) (string, error) {
+	resolved := j.algo
+	if res.Plan != nil {
+		resolved = res.Plan.Algorithm
+	}
+	seed := m.cfg.DefaultSeed
+	if j.seed != nil {
+		seed = *j.seed
+	}
+	key := store.ResultKey(resolved.String(), seed, j.insDigest)
+	if has, err := m.cfg.Blobs.Has(key); err == nil && has {
+		return key, nil
+	}
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(sfcp.EncodeLabelsBinary(pw, res.Labels)) }()
+	if _, err := m.cfg.Blobs.Put(key, pr); err != nil {
+		pr.CloseWithError(err)
+		return "", err
+	}
+	return key, nil
+}
+
+// deleteInstanceBlob removes a released instance payload from the tier
+// (no-op for an empty key). Called outside the manager mutex.
+func (m *Manager) deleteInstanceBlob(key string) {
+	if key == "" || m.cfg.Blobs == nil {
+		return
+	}
+	if err := m.cfg.Blobs.Delete(key); err != nil {
+		m.cfg.Logf("jobs: deleting instance blob %s: %v", key, err)
+	}
+}
+
+// journalLocked appends j's current state to the journal. Callers hold
+// m.mu — the append is a single buffered line, taken under the lock so
+// one job's transitions can never reach the journal out of order.
+func (m *Manager) journalLocked(j *job) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err := m.cfg.Journal.Put(m.recordLocked(j)); err != nil {
+		m.cfg.Logf("jobs: journaling job %s (%s): %v", j.id, j.state, err)
+	}
+}
+
+// recordLocked builds the persisted view of j.
+func (m *Manager) recordLocked(j *job) store.JobRecord {
+	rec := store.JobRecord{
+		ID:             j.id,
+		Seq:            j.seq,
+		Algorithm:      j.algo.String(),
+		Seed:           j.seed,
+		Priority:       j.priority,
+		N:              j.n,
+		State:          string(j.state),
+		SubmittedAt:    j.submitted,
+		StartedAt:      j.started,
+		FinishedAt:     j.finished,
+		Error:          j.errMsg,
+		InstanceDigest: j.insDigest,
+	}
+	if j.state == StateDone {
+		rec.NumClasses = j.res.NumClasses
+		rec.Cached = j.cached
+		rec.ResultKey = j.resultKey
+		if j.res.Plan != nil {
+			rec.ResolvedAlgorithm = j.res.Plan.Algorithm.String()
+			rec.PlanReason = j.res.Plan.Reason
+			rec.PlanWorkers = j.res.Plan.Workers
+		}
+	}
+	return rec
 }
 
 // finishLocked moves a job to a terminal state and bumps the tallies. The
 // input arrays are released here rather than at eviction: a finished
 // 10^8-element job would otherwise pin gigabytes of dead F+B for the whole
-// TTL window (only n is needed for later snapshots).
-func (m *Manager) finishLocked(j *job, state State, errMsg string, now time.Time) {
+// TTL window (only n is needed for later snapshots). If this was the last
+// live job referencing its instance blob, the blob key is returned for
+// deletion outside the lock — except during shutdown, when the next boot
+// still needs it.
+func (m *Manager) finishLocked(j *job, state State, errMsg string, now time.Time) (releaseBlob string) {
 	j.state = state
 	j.errMsg = errMsg
 	j.finished = now
@@ -426,6 +847,16 @@ func (m *Manager) finishLocked(j *job, state State, errMsg string, now time.Time
 	case StateCancelled:
 		m.cancelled++
 	}
+	if j.blobRef {
+		j.blobRef = false
+		if m.insRefs[j.insDigest]--; m.insRefs[j.insDigest] <= 0 {
+			delete(m.insRefs, j.insDigest)
+			if !m.closed {
+				releaseBlob = j.insDigest
+			}
+		}
+	}
+	return releaseBlob
 }
 
 // janitor evicts terminal jobs TTL after they finished, every Tick.
@@ -443,16 +874,30 @@ func (m *Manager) janitor() {
 	}
 }
 
+// evictExpired drops expired terminal jobs and their journal records.
+// Result blobs are deliberately retained: they are the durable result
+// tier, keyed by content, and the server's read-through serves them long
+// after the job that computed them is gone.
 func (m *Manager) evictExpired() {
 	cutoff := m.cfg.now().Add(-m.cfg.TTL)
+	var dropped []string
 	m.mu.Lock()
 	for id, j := range m.jobs {
 		if j.state.Terminal() && j.finished.Before(cutoff) {
 			delete(m.jobs, id)
 			m.evicted++
+			dropped = append(dropped, id)
 		}
 	}
 	m.mu.Unlock()
+	if m.cfg.Journal == nil {
+		return
+	}
+	for _, id := range dropped {
+		if err := m.cfg.Journal.Delete(id); err != nil {
+			m.cfg.Logf("jobs: evicting journal record %s: %v", id, err)
+		}
+	}
 }
 
 func (m *Manager) snapshotLocked(j *job) Snapshot {

@@ -56,9 +56,9 @@ func TestSubmitRunsToDone(t *testing.T) {
 	if done.NumClasses != 1 || done.FinishedAt == nil || done.StartedAt == nil {
 		t.Fatalf("done snapshot: %+v", done)
 	}
-	res, s, ok := m.Result(snap.ID)
-	if !ok || s.State != StateDone || len(res.Labels) != 2 {
-		t.Fatalf("result: ok=%v state=%s labels=%v", ok, s.State, res.Labels)
+	res, s, err := m.Result(snap.ID)
+	if err != nil || s.State != StateDone || len(res.Labels) != 2 {
+		t.Fatalf("result: err=%v state=%s labels=%v", err, s.State, res.Labels)
 	}
 	c := m.Counts()
 	if c.Submitted != 1 || c.Done != 1 || c.Queued != 0 || c.Running != 0 {
@@ -80,8 +80,8 @@ func TestFailedJob(t *testing.T) {
 	if failed.Error != boom.Error() {
 		t.Fatalf("error %q, want %q", failed.Error, boom)
 	}
-	if _, s, ok := m.Result(snap.ID); !ok || s.State != StateFailed {
-		t.Fatalf("result of failed job: ok=%v state=%s", ok, s.State)
+	if _, s, err := m.Result(snap.ID); err != nil || s.State != StateFailed {
+		t.Fatalf("result of failed job: err=%v state=%s", err, s.State)
 	}
 }
 
@@ -337,8 +337,8 @@ func TestUnknownIDs(t *testing.T) {
 	if _, ok := m.Get("nope"); ok {
 		t.Error("Get of unknown id succeeded")
 	}
-	if _, _, ok := m.Result("nope"); ok {
-		t.Error("Result of unknown id succeeded")
+	if _, _, err := m.Result("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Result of unknown id: %v, want ErrNotFound", err)
 	}
 	if _, ok := m.Cancel("nope"); ok {
 		t.Error("Cancel of unknown id succeeded")

@@ -45,12 +45,15 @@ func (s *Server) solveCoalesced(ctx context.Context, algo sfcp.Algorithm, seed u
 	// per-request planner counter advances here — before the cache, like
 	// the pool path — so plans ≈ requests holds on hits and misses alike.
 	s.metrics.plan(sfcp.AlgorithmLinear.String())
-	var key string
+	var key, digest string
+	if s.cache.enabled() || s.blobs != nil {
+		digest = ins.Digest()
+	}
 	if s.cache.enabled() {
 		// Coalesced requests always resolve to the linear solver, so the
 		// key is known before any planning — and matches the key an
 		// uncoalesced auto or explicit-linear request would compute.
-		key = cacheKey(sfcp.AlgorithmLinear, seed, ins.Digest())
+		key = cacheKey(sfcp.AlgorithmLinear, seed, digest)
 		if res, ok := s.cache.Get(key); ok {
 			s.metrics.cache(true)
 			var plan sfcp.Plan
@@ -60,6 +63,18 @@ func (s *Server) solveCoalesced(ctx context.Context, algo sfcp.Algorithm, seed u
 			return solveOutcome{res: res, plan: plan, cached: true}
 		}
 		s.metrics.cache(false)
+	}
+	// The durable tier answers before the coalescer does: a persisted
+	// linear result (an async job's, or a previous process's) costs one
+	// blob read instead of a queue wait. Zero-config mode never gets
+	// here with a tier, so the hot path pays nothing new.
+	if res, ok := s.tierGet(sfcp.AlgorithmLinear, seed, digest); ok {
+		plan := sfcp.Plan{Algorithm: sfcp.AlgorithmLinear, Workers: 1, Reason: "restored from durable result tier"}
+		res.Plan = &plan
+		if key != "" {
+			s.cache.Put(key, res)
+		}
+		return solveOutcome{res: res, plan: plan, cached: true}
 	}
 	out, err := s.coalescer.Submit(ctx, ins, key)
 	so := solveOutcome{

@@ -107,9 +107,19 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("jobs_result")
-	res, snap, ok := s.jobs.Result(r.PathValue("id"))
-	if !ok {
+	res, snap, err := s.jobs.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
 		s.fail(w, "jobs_result", http.StatusNotFound, "unknown job (expired or never existed)")
+		return
+	case errors.Is(err, jobs.ErrResultUnavailable):
+		// The job finished, but its persisted labels cannot be read back
+		// (deleted out of band, or corrupt — the codec trailer catches
+		// that). The snapshot still stands; the payload is gone.
+		s.fail(w, "jobs_result", http.StatusGone, err.Error())
+		return
+	case err != nil:
+		s.fail(w, "jobs_result", http.StatusInternalServerError, err.Error())
 		return
 	}
 	if snap.State != jobs.StateDone {

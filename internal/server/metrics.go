@@ -8,6 +8,7 @@ import (
 
 	"sfcp"
 	"sfcp/internal/jobs"
+	"sfcp/internal/store"
 )
 
 // Metric family names. Every sfcpd_* family the server exposes is named
@@ -54,6 +55,23 @@ const (
 	// plan this host resolves.
 	metricPlanCalibrated = "sfcpd_plan_calibrated"
 	metricPlanProfile    = "sfcpd_plan_profile"
+
+	// Tiered-storage families: blob-tier traffic (reads/writes/deletes
+	// and their bytes, from the meter wrapping the configured store),
+	// payloads spilled out of RAM, jobs recovered at boot by outcome
+	// (requeued to run again vs restored as fetchable terminal state),
+	// journal entries recovery had to skip as unreadable, and the RAM
+	// result cache's estimated resident bytes. All render as zeros in
+	// zero-config (in-memory) mode.
+	metricStoreBlobReadsTotal      = "sfcpd_store_blob_reads_total"
+	metricStoreBlobWritesTotal     = "sfcpd_store_blob_writes_total"
+	metricStoreBlobDeletesTotal    = "sfcpd_store_blob_deletes_total"
+	metricStoreBlobReadBytesTotal  = "sfcpd_store_blob_read_bytes_total"
+	metricStoreBlobWriteBytesTotal = "sfcpd_store_blob_write_bytes_total"
+	metricStoreSpilledTotal        = "sfcpd_store_spilled_total"
+	metricStoreRecoveredJobsTotal  = "sfcpd_store_recovered_jobs_total"
+	metricStoreJournalCorruptTotal = "sfcpd_store_journal_corrupt_total"
+	metricCacheBytes               = "sfcpd_cache_bytes"
 )
 
 // typeHeader renders one family's exposition-format type line.
@@ -293,6 +311,39 @@ func renderCalibration(p *sfcp.CalibrationProfile) string {
 		emit("%s{field=%q} %d\n", metricPlanProfile, "worker_grain", p.WorkerGrain)
 		emit("%s{field=%q} %d\n", metricPlanProfile, "max_useful_workers", p.MaxUsefulWorkers)
 	}
+	return string(b)
+}
+
+// renderStore writes the tiered-storage families from live state — the
+// blob meter's counters, the job manager's spill/recovery tallies, the
+// journal's corrupt-entry count, and the result cache's byte gauge.
+// Like renderJobs, every source owns its own synchronization; the
+// metrics mutex has nothing to guard. Always rendered (zeros without a
+// store) so scrapers see a stable family set in every configuration.
+func renderStore(blob store.BlobCounts, jc jobs.Counts, journalCorrupt, cacheBytes int64) string {
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	emit(typeHeader(metricStoreBlobReadsTotal, "counter"))
+	emit("%s %d\n", metricStoreBlobReadsTotal, blob.Reads)
+	emit(typeHeader(metricStoreBlobWritesTotal, "counter"))
+	emit("%s %d\n", metricStoreBlobWritesTotal, blob.Writes)
+	emit(typeHeader(metricStoreBlobDeletesTotal, "counter"))
+	emit("%s %d\n", metricStoreBlobDeletesTotal, blob.Deletes)
+	emit(typeHeader(metricStoreBlobReadBytesTotal, "counter"))
+	emit("%s %d\n", metricStoreBlobReadBytesTotal, blob.ReadBytes)
+	emit(typeHeader(metricStoreBlobWriteBytesTotal, "counter"))
+	emit("%s %d\n", metricStoreBlobWriteBytesTotal, blob.WriteBytes)
+	emit(typeHeader(metricStoreSpilledTotal, "counter"))
+	emit("%s %d\n", metricStoreSpilledTotal, jc.Spilled)
+	emit(typeHeader(metricStoreRecoveredJobsTotal, "counter"))
+	emit("%s{outcome=%q} %d\n", metricStoreRecoveredJobsTotal, "requeued", jc.Requeued)
+	emit("%s{outcome=%q} %d\n", metricStoreRecoveredJobsTotal, "restored", jc.Restored)
+	emit(typeHeader(metricStoreJournalCorruptTotal, "counter"))
+	emit("%s %d\n", metricStoreJournalCorruptTotal, journalCorrupt)
+	emit(typeHeader(metricCacheBytes, "gauge"))
+	emit("%s %d\n", metricCacheBytes, cacheBytes)
 	return string(b)
 }
 

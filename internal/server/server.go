@@ -46,6 +46,7 @@ import (
 	"sfcp/internal/batcher"
 	"sfcp/internal/codec"
 	"sfcp/internal/jobs"
+	"sfcp/internal/store"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -100,6 +101,25 @@ type Config struct {
 	// server takes traffic, and installs (and persists, when
 	// CalibrationFile is set) the fitted profile.
 	CalibrateOnStart bool
+	// JobStore, when set, journals async job submissions and state
+	// transitions so a restart over the same store recovers them:
+	// non-terminal jobs re-queue, terminal ones stay fetchable. Both
+	// stores are typically opened by sfcpd from -data-dir; nil keeps the
+	// in-memory behavior.
+	JobStore store.JobStore
+	// BlobStore, when set, is the content-addressed durable tier for
+	// instance payloads and solved results. The solve path consults it
+	// after a RAM-cache miss and persists spilled results into it.
+	BlobStore store.BlobStore
+	// SpillN is the instance size (elements) at or above which payloads
+	// and results are released from RAM once persisted to the blob tier
+	// (default 1<<16; only meaningful with BlobStore).
+	SpillN int
+	// CacheBytes additionally bounds the result LRU by estimated
+	// resident bytes (0 = entries-only, the original behavior).
+	CacheBytes int64
+	// Logf receives storage and recovery diagnostics (default: discard).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +152,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CalibrateBudget <= 0 {
 		c.CalibrateBudget = 3 * time.Second
+	}
+	if c.SpillN <= 0 {
+		c.SpillN = 1 << 16
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
 	}
 	return c
 }
@@ -203,6 +229,12 @@ type Server struct {
 	metrics *metrics
 	solvers map[sfcp.Algorithm]*sfcp.Solver
 	jobs    *jobs.Manager
+	logf    func(format string, args ...any)
+
+	// blobs is the metered durable result tier (nil in zero-config mode);
+	// the meter wraps the configured BlobStore so job-manager and
+	// solve-path traffic both land in the sfcpd_store_* counters.
+	blobs *store.Metered
 
 	// coalescer micro-batches small solves (nil when disabled); stop
 	// cancels the lifecycle context it derives from.
@@ -225,9 +257,19 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		pool:    newPool(cfg.WorkersPerAlgorithm, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheSize),
+		cache:   newResultCache(cfg.CacheSize, cfg.CacheBytes),
 		metrics: newMetrics(),
 		solvers: map[sfcp.Algorithm]*sfcp.Solver{},
+		logf:    cfg.Logf,
+	}
+	// The meter wraps the blob tier once so every consumer — the job
+	// manager's spill/reload traffic and the solve path's read/write
+	// through — shares one set of counters. jobBlobs stays a nil
+	// interface (not a typed-nil *Metered) when there is no tier.
+	var jobBlobs store.BlobStore
+	if cfg.BlobStore != nil {
+		s.blobs = store.NewMetered(cfg.BlobStore)
+		jobBlobs = s.blobs
 	}
 	// One solver (scratch-arena pool) per concrete algorithm; "auto" never
 	// reaches this map — solveResult resolves it first.
@@ -246,6 +288,11 @@ func New(cfg Config) *Server {
 		MaxQueued:               cfg.JobMaxQueued,
 		DispatchersPerAlgorithm: cfg.WorkersPerAlgorithm,
 		TTL:                     cfg.JobTTL,
+		Journal:                 cfg.JobStore,
+		Blobs:                   jobBlobs,
+		SpillN:                  cfg.SpillN,
+		DefaultSeed:             cfg.Seed,
+		Logf:                    cfg.Logf,
 	}, func(ctx context.Context, algo sfcp.Algorithm, seed *uint64, ins sfcp.Instance) (sfcp.Result, bool, error) {
 		out := s.solveResult(ctx, algo, seed, ins)
 		return out.res, out.cached, out.err
@@ -303,9 +350,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("metrics")
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	jc := s.jobs.Counts()
 	fmt.Fprint(w, s.metrics.render())
-	fmt.Fprint(w, renderJobs(s.jobs.Counts()))
+	fmt.Fprint(w, renderJobs(jc))
 	fmt.Fprint(w, renderCalibration(sfcp.ActiveCalibrationProfile()))
+	fmt.Fprint(w, renderStore(s.blobCounts(), jc, s.journalCorrupt(), s.cache.Bytes()))
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -662,9 +711,14 @@ func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverr
 	}
 	resolved := plan.Algorithm
 	s.metrics.plan(resolved.String())
-	var key string
+	var key, digest string
+	if s.cache.enabled() || s.blobs != nil {
+		// One digest serves both tiers: the RAM key and the durable
+		// result key are content addresses over the same SHA-256.
+		digest = ins.Digest()
+	}
 	if s.cache.enabled() {
-		key = cacheKey(resolved, seed, ins.Digest())
+		key = cacheKey(resolved, seed, digest)
 		if res, ok := s.cache.Get(key); ok {
 			s.metrics.cache(true)
 			// The labels are shared, but the plan reported is this
@@ -675,6 +729,16 @@ func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverr
 			return solveOutcome{res: res, plan: plan, cached: true}
 		}
 		s.metrics.cache(false)
+	}
+	// RAM missed; the durable tier may still hold the answer (persisted
+	// by an async job, a spilled solve, or a previous process over the
+	// same data dir). A hit warms the RAM cache like any other fill.
+	if res, ok := s.tierGet(resolved, seed, digest); ok {
+		res.Plan = &plan
+		if key != "" {
+			s.cache.Put(key, res)
+		}
+		return solveOutcome{res: res, plan: plan, cached: true}
 	}
 
 	start := time.Now()
@@ -694,6 +758,13 @@ func (s *Server) solveResult(ctx context.Context, algo sfcp.Algorithm, seedOverr
 	res.Timings.Plan = planDur
 	if key != "" {
 		s.cache.Put(key, res)
+	}
+	// Results big enough to spill (the job manager's RAM-release
+	// threshold) write through to the durable tier, so the next process
+	// over this data dir starts warm for exactly the instances that are
+	// expensive to recompute.
+	if s.blobs != nil && len(ins.F) >= s.cfg.SpillN {
+		s.tierPut(resolved, seed, digest, res.Labels)
 	}
 	return solveOutcome{res: res, plan: plan, elapsed: elapsed}
 }

@@ -202,7 +202,7 @@ func TestCacheHitPathAndMetrics(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	c.Put("a", sfcp.Result{NumClasses: 1})
 	c.Put("b", sfcp.Result{NumClasses: 2})
 	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
@@ -218,7 +218,7 @@ func TestCacheEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("len %d", c.Len())
 	}
-	disabled := newResultCache(-1)
+	disabled := newResultCache(-1, 0)
 	disabled.Put("x", sfcp.Result{})
 	if _, ok := disabled.Get("x"); ok {
 		t.Error("disabled cache stored a result")

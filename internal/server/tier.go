@@ -1,0 +1,82 @@
+package server
+
+import (
+	"io"
+
+	"sfcp"
+	"sfcp/internal/store"
+)
+
+// The durable result tier. When sfcpd runs with a blob store, every
+// persisted solve — spilled synchronous results and all async job
+// results — lives under a content-addressed key shared with the job
+// manager (store.ResultKey over the resolved algorithm, effective seed
+// and instance digest). The solve path consults it after a RAM-cache
+// miss and before solving, so a restart serves previously computed
+// answers from disk instead of recomputing them, and the two tiers fill
+// each other: a job's persisted result answers a synchronous request
+// and vice versa.
+
+// tierGet reads one result back from the blob tier. A miss, an I/O
+// error, or a corrupt blob (the codec's XXH64 trailer catches it) all
+// come back (zero, false) — the caller just solves; corruption is
+// logged and the bad blob dropped so the fresh solve re-persists it.
+func (s *Server) tierGet(algo sfcp.Algorithm, seed uint64, digest string) (sfcp.Result, bool) {
+	if s.blobs == nil || digest == "" {
+		return sfcp.Result{}, false
+	}
+	key := store.ResultKey(algo.String(), seed, digest)
+	rc, err := s.blobs.Get(key)
+	if err != nil {
+		return sfcp.Result{}, false
+	}
+	labels, err := sfcp.DecodeLabelsBinary(rc)
+	rc.Close()
+	if err != nil {
+		s.logf("server: result blob %s unreadable: %v (dropping it and re-solving)", key, err)
+		_ = s.blobs.Delete(key)
+		return sfcp.Result{}, false
+	}
+	return sfcp.Result{Labels: labels, NumClasses: sfcp.NumClasses(labels)}, true
+}
+
+// tierPut persists one solved result into the blob tier, streamed
+// through the wire codec so the disk bytes are the wire format (and
+// carry its integrity trailer). Content addressing makes the write
+// idempotent: if the key already exists — this tier and the job
+// manager race benignly here — there is nothing to do. Failures are
+// logged and swallowed; the tier is an accelerator, never a
+// correctness dependency for a solve that already succeeded.
+func (s *Server) tierPut(algo sfcp.Algorithm, seed uint64, digest string, labels []int) {
+	if s.blobs == nil || digest == "" {
+		return
+	}
+	key := store.ResultKey(algo.String(), seed, digest)
+	if ok, err := s.blobs.Has(key); err == nil && ok {
+		return
+	}
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(sfcp.EncodeLabelsBinary(pw, labels)) }()
+	if _, err := s.blobs.Put(key, pr); err != nil {
+		pr.CloseWithError(err)
+		s.logf("server: persisting result blob %s: %v", key, err)
+	}
+}
+
+// blobCounts snapshots the metered blob-tier traffic for /metrics
+// (zeros when no tier is configured).
+func (s *Server) blobCounts() store.BlobCounts {
+	if s.blobs == nil {
+		return store.BlobCounts{}
+	}
+	return s.blobs.Counts()
+}
+
+// journalCorrupt reports how many unreadable journal entries recovery
+// skipped (zero without a journal, and in the happy path with one).
+func (s *Server) journalCorrupt() int64 {
+	if s.cfg.JobStore == nil {
+		return 0
+	}
+	return s.cfg.JobStore.CorruptSkipped()
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// BlobCounts is a point-in-time snapshot of a Metered blob store's
+// traffic, in the shapes /metrics wants to expose.
+type BlobCounts struct {
+	Reads      int64
+	Writes     int64
+	Deletes    int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Metered wraps a BlobStore and counts operations and bytes moved.
+// The server puts one of these in front of whatever tier it is given so
+// sfcpd_store_* metrics work identically for memory and file backends.
+type Metered struct {
+	inner BlobStore
+
+	reads      atomic.Int64
+	writes     atomic.Int64
+	deletes    atomic.Int64
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+}
+
+// NewMetered wraps inner with traffic counters.
+func NewMetered(inner BlobStore) *Metered {
+	return &Metered{inner: inner}
+}
+
+// Counts snapshots the traffic counters.
+func (m *Metered) Counts() BlobCounts {
+	return BlobCounts{
+		Reads:      m.reads.Load(),
+		Writes:     m.writes.Load(),
+		Deletes:    m.deletes.Load(),
+		ReadBytes:  m.readBytes.Load(),
+		WriteBytes: m.writeBytes.Load(),
+	}
+}
+
+// Put forwards to the inner store and counts the write.
+func (m *Metered) Put(key string, r io.Reader) (int64, error) {
+	n, err := m.inner.Put(key, r)
+	if err != nil {
+		return n, err
+	}
+	m.writes.Add(1)
+	m.writeBytes.Add(n)
+	return n, nil
+}
+
+// Get forwards to the inner store; bytes are counted as the caller
+// drains the returned reader.
+func (m *Metered) Get(key string) (io.ReadCloser, error) {
+	rc, err := m.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	m.reads.Add(1)
+	return &countedReadCloser{rc: rc, bytes: &m.readBytes}, nil
+}
+
+// Has forwards to the inner store.
+func (m *Metered) Has(key string) (bool, error) { return m.inner.Has(key) }
+
+// Delete forwards to the inner store and counts the delete.
+func (m *Metered) Delete(key string) error {
+	if err := m.inner.Delete(key); err != nil {
+		return err
+	}
+	m.deletes.Add(1)
+	return nil
+}
+
+type countedReadCloser struct {
+	rc    io.ReadCloser
+	bytes *atomic.Int64
+}
+
+func (c *countedReadCloser) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 {
+		c.bytes.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countedReadCloser) Close() error { return c.rc.Close() }

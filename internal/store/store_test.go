@@ -1,0 +1,458 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testJobStores(t *testing.T) map[string]JobStore {
+	t.Helper()
+	fs, err := OpenFileJobStore(filepath.Join(t.TempDir(), "jobs.journal"), t.Logf)
+	if err != nil {
+		t.Fatalf("OpenFileJobStore: %v", err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]JobStore{"mem": NewMemJobStore(), "file": fs}
+}
+
+func scanAll(t *testing.T, s JobStore) []JobRecord {
+	t.Helper()
+	var recs []JobRecord
+	if err := s.Scan(func(r JobRecord) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return recs
+}
+
+func TestJobStoreRoundTrip(t *testing.T) {
+	for name, s := range testJobStores(t) {
+		t.Run(name, func(t *testing.T) {
+			seed := uint64(42)
+			recs := []JobRecord{
+				{ID: "b", Seq: 2, Algorithm: "pram", State: "queued", N: 10},
+				{ID: "a", Seq: 1, Algorithm: "linear", Seed: &seed, State: "done", NumClasses: 3},
+				{ID: "c", Seq: 3, Algorithm: "auto", State: "running", Priority: -1},
+			}
+			for _, r := range recs {
+				if err := s.Put(r); err != nil {
+					t.Fatalf("Put(%s): %v", r.ID, err)
+				}
+			}
+			got := scanAll(t, s)
+			if len(got) != 3 {
+				t.Fatalf("Scan returned %d records, want 3", len(got))
+			}
+			for i, want := range []string{"a", "b", "c"} {
+				if got[i].ID != want {
+					t.Errorf("scan order[%d] = %s, want %s (ascending Seq)", i, got[i].ID, want)
+				}
+			}
+			if got[0].Seed == nil || *got[0].Seed != 42 {
+				t.Errorf("record a lost its seed: %+v", got[0])
+			}
+
+			// Last record per id wins.
+			if err := s.Put(JobRecord{ID: "b", Seq: 2, Algorithm: "pram", State: "done", NumClasses: 7}); err != nil {
+				t.Fatalf("Put update: %v", err)
+			}
+			got = scanAll(t, s)
+			if len(got) != 3 || got[1].State != "done" || got[1].NumClasses != 7 {
+				t.Fatalf("updated record not latest-wins: %+v", got)
+			}
+
+			// Tombstone removes from scans; deleting again is a no-op.
+			if err := s.Delete("a"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if err := s.Delete("a"); err != nil {
+				t.Fatalf("Delete (repeat): %v", err)
+			}
+			got = scanAll(t, s)
+			if len(got) != 2 || got[0].ID != "b" || got[1].ID != "c" {
+				t.Fatalf("after delete, scan = %+v", got)
+			}
+			if n := s.CorruptSkipped(); n != 0 {
+				t.Errorf("CorruptSkipped = %d on a clean store", n)
+			}
+		})
+	}
+}
+
+func TestJobStoreScanError(t *testing.T) {
+	for name, s := range testJobStores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				if err := s.Put(JobRecord{ID: fmt.Sprintf("j%d", i), Seq: uint64(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			boom := errors.New("boom")
+			visited := 0
+			err := s.Scan(func(JobRecord) error { visited++; return boom })
+			if !errors.Is(err, boom) {
+				t.Fatalf("Scan error = %v, want boom", err)
+			}
+			if visited != 1 {
+				t.Fatalf("Scan visited %d records after error, want 1", visited)
+			}
+		})
+	}
+}
+
+func TestFileJobStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	s, err := OpenFileJobStore(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(JobRecord{ID: fmt.Sprintf("j%d", i), Seq: uint64(i), State: "queued"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(JobRecord{ID: "j2", Seq: 2, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("j4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileJobStore(path, t.Logf)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got := scanAll(t, s2)
+	if len(got) != 4 {
+		t.Fatalf("after reopen, %d records, want 4: %+v", len(got), got)
+	}
+	if got[2].ID != "j2" || got[2].State != "done" {
+		t.Errorf("j2 lost its update across reopen: %+v", got[2])
+	}
+	for _, r := range got {
+		if r.ID == "j4" {
+			t.Errorf("tombstoned j4 resurrected: %+v", r)
+		}
+	}
+	// Open compacted: the journal now holds exactly the live records.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 4 {
+		t.Errorf("compacted journal has %d lines, want 4", lines)
+	}
+}
+
+func TestFileJobStoreLenientReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	var lines []string
+	lines = append(lines, `{"id":"good1","seq":1,"state":"queued"}`)
+	lines = append(lines, `{"id":"good2","seq":2,`) // torn mid-write
+	lines = append(lines, `not json at all`)
+	lines = append(lines, `{"seq":9,"state":"queued"}`) // parses but no id
+	lines = append(lines, `{"id":"good3","seq":3,"state":"done"}`)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	s, err := OpenFileJobStore(path, func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatalf("lenient open failed: %v", err)
+	}
+	defer s.Close()
+
+	got := scanAll(t, s)
+	if len(got) != 2 || got[0].ID != "good1" || got[1].ID != "good3" {
+		t.Fatalf("lenient replay kept %+v, want good1+good3", got)
+	}
+	if n := s.CorruptSkipped(); n != 3 {
+		t.Errorf("CorruptSkipped = %d, want 3", n)
+	}
+	if len(logged) != 3 {
+		t.Errorf("logged %d skip lines, want 3: %q", len(logged), logged)
+	}
+	// The store stays writable after lenient recovery.
+	if err := s.Put(JobRecord{ID: "after", Seq: 10, State: "queued"}); err != nil {
+		t.Fatalf("Put after lenient recovery: %v", err)
+	}
+}
+
+func TestFileJobStoreTornTailAfterCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	s, err := OpenFileJobStore(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(JobRecord{ID: "ok", Seq: 1, State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a kill -9 mid-append: valid journal plus a partial line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"torn","se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenFileJobStore(path, t.Logf)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	got := scanAll(t, s2)
+	if len(got) != 1 || got[0].ID != "ok" {
+		t.Fatalf("after torn tail, records = %+v, want just ok", got)
+	}
+	if n := s2.CorruptSkipped(); n != 1 {
+		t.Errorf("CorruptSkipped = %d, want 1", n)
+	}
+}
+
+func TestFileJobStoreOnlineCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	s, err := OpenFileJobStore(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Hammer a handful of ids with updates: appends vastly exceed live
+	// records, so the online threshold must fire and shrink the file.
+	for i := 0; i < 2000; i++ {
+		if err := s.Put(JobRecord{ID: fmt.Sprintf("j%d", i%4), Seq: uint64(i % 4), State: "queued", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines >= 2000 {
+		t.Fatalf("journal never compacted online: %d lines", lines)
+	}
+	if got := scanAll(t, s); len(got) != 4 {
+		t.Fatalf("live records = %d, want 4", len(got))
+	}
+}
+
+const (
+	testKeyA = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	testKeyB = "fedcba9876543210fedcba9876543210"
+)
+
+func testBlobStores(t *testing.T) map[string]BlobStore {
+	t.Helper()
+	fs, err := OpenFileBlobStore(filepath.Join(t.TempDir(), "blobs"))
+	if err != nil {
+		t.Fatalf("OpenFileBlobStore: %v", err)
+	}
+	return map[string]BlobStore{"mem": NewMemBlobStore(), "file": fs}
+}
+
+func TestBlobStoreRoundTrip(t *testing.T) {
+	for name, s := range testBlobStores(t) {
+		t.Run(name, func(t *testing.T) {
+			payload := strings.Repeat("sfcp blob payload ", 100)
+			n, err := s.Put(testKeyA, strings.NewReader(payload))
+			if err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if n != int64(len(payload)) {
+				t.Errorf("Put wrote %d bytes, want %d", n, len(payload))
+			}
+			ok, err := s.Has(testKeyA)
+			if err != nil || !ok {
+				t.Fatalf("Has = %v, %v; want true", ok, err)
+			}
+			rc, err := s.Get(testKeyA)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			data, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil || string(data) != payload {
+				t.Fatalf("Get round-trip mismatch (err=%v, %d bytes)", err, len(data))
+			}
+
+			// Re-put replaces (content addressing makes this idempotent).
+			if _, err := s.Put(testKeyA, strings.NewReader("shorter")); err != nil {
+				t.Fatalf("re-Put: %v", err)
+			}
+			rc, _ = s.Get(testKeyA)
+			data, _ = io.ReadAll(rc)
+			rc.Close()
+			if string(data) != "shorter" {
+				t.Fatalf("re-Put did not replace: %q", data)
+			}
+
+			if err := s.Delete(testKeyA); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if err := s.Delete(testKeyA); err != nil {
+				t.Fatalf("Delete (repeat): %v", err)
+			}
+			if ok, _ := s.Has(testKeyA); ok {
+				t.Error("Has true after Delete")
+			}
+			if _, err := s.Get(testKeyA); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get after Delete = %v, want ErrNotFound", err)
+			}
+			if _, err := s.Get(testKeyB); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get of never-stored key = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestBlobStoreRejectsBadKeys(t *testing.T) {
+	bad := []string{
+		"",
+		"short",
+		"UPPERCASE9876543210FEDCBA",
+		"../../../../etc/passwd",
+		"0123456789abcdeg0123456789abcdef", // 'g' is not hex
+		strings.Repeat("a", 65),
+	}
+	for name, s := range testBlobStores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, key := range bad {
+				if _, err := s.Put(key, strings.NewReader("x")); !errors.Is(err, ErrBadKey) {
+					t.Errorf("Put(%q) = %v, want ErrBadKey", key, err)
+				}
+				if _, err := s.Get(key); !errors.Is(err, ErrBadKey) {
+					t.Errorf("Get(%q) = %v, want ErrBadKey", key, err)
+				}
+				if _, err := s.Has(key); !errors.Is(err, ErrBadKey) {
+					t.Errorf("Has(%q) = %v, want ErrBadKey", key, err)
+				}
+				if err := s.Delete(key); !errors.Is(err, ErrBadKey) {
+					t.Errorf("Delete(%q) = %v, want ErrBadKey", key, err)
+				}
+			}
+		})
+	}
+}
+
+func TestFileBlobStoreLayoutAndCrashCleanup(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "blobs")
+	s, err := OpenFileBlobStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testKeyA, strings.NewReader("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// Fanout: blob lives under its two-hex-char prefix directory.
+	want := filepath.Join(root, testKeyA[:2], testKeyA)
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("blob not at fanout path %s: %v", want, err)
+	}
+
+	// A stranded temp file (crash mid-Put) is swept at open and never
+	// visible as a blob.
+	stray := filepath.Join(root, ".tmp-12345")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileBlobStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stray temp file survived reopen: %v", err)
+	}
+	// And the real blob survived.
+	rc, err := s2.Get(testKeyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "hello" {
+		t.Fatalf("blob corrupted across reopen: %q", data)
+	}
+}
+
+func TestMeteredCounts(t *testing.T) {
+	m := NewMetered(NewMemBlobStore())
+	payload := strings.Repeat("x", 1000)
+	if _, err := m.Put(testKeyA, strings.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(testKeyB, strings.NewReader("yy")); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := m.Get(testKeyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, rc); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if err := m.Delete(testKeyB); err != nil {
+		t.Fatal(err)
+	}
+	// Failed operations do not count.
+	if _, err := m.Get(testKeyB); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get deleted = %v", err)
+	}
+	if _, err := m.Put("bad key", strings.NewReader("z")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("Put bad = %v", err)
+	}
+
+	got := m.Counts()
+	want := BlobCounts{Reads: 1, Writes: 2, Deletes: 1, ReadBytes: 1000, WriteBytes: 1002}
+	if got != want {
+		t.Fatalf("Counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	valid := []string{testKeyA, testKeyB, strings.Repeat("0", 16), strings.Repeat("f", 64)}
+	for _, k := range valid {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	invalid := []string{"", strings.Repeat("0", 15), strings.Repeat("0", 65), "ABCDEF0123456789", "0123456789abcdex", "..", "a/b"}
+	for _, k := range invalid {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}
+
+func TestResultKey(t *testing.T) {
+	k1 := ResultKey("linear", 42, testKeyA)
+	if !ValidKey(k1) || len(k1) != 64 {
+		t.Fatalf("ResultKey produced invalid key %q", k1)
+	}
+	if k1 != ResultKey("linear", 42, testKeyA) {
+		t.Error("ResultKey not deterministic")
+	}
+	distinct := []string{
+		ResultKey("pram", 42, testKeyA),
+		ResultKey("linear", 43, testKeyA),
+		ResultKey("linear", 42, testKeyB),
+	}
+	for i, k := range distinct {
+		if k == k1 {
+			t.Errorf("ResultKey variant %d collided with base", i)
+		}
+	}
+}
