@@ -42,7 +42,7 @@ func (e *errTrackWriter) Write(p []byte) (int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A7)")
+	exp := flag.String("exp", "", "experiment id (E1..E10, A1..A8)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	list := flag.Bool("list", false, "list experiments")
@@ -116,7 +116,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sfcpbench: unknown experiment %q; -list shows the catalogue\n", *exp)
 			os.Exit(1)
 		}
-		e.Run(cfg)
+		bench.RunOne(e, cfg)
 	default:
 		flag.Usage()
 		os.Exit(2)

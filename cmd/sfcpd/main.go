@@ -12,6 +12,8 @@
 //	GET    /jobs/{id}        job status: queued|running|done|failed|cancelled
 //	GET    /jobs/{id}/result labels (JSON, or binary with Accept: application/x-sfcp)
 //	DELETE /jobs/{id}        cooperative cancel
+//	POST   /instances        register a versioned instance -> digest + labels
+//	POST   /instances/{digest}/delta  incremental re-solve of an edited version
 //	POST   /calibrate        re-fit the planner profile on this host
 //	GET    /healthz
 //	GET    /metrics
@@ -31,6 +33,18 @@
 //	      [-batch-wait 1ms] [-batch-size 64] [-batch-max-n 32767]
 //	      [-calibration-file profile.json] [-calibrate-on-start]
 //	      [-calibrate-budget 3s] [-data-dir path] [-spill-n 65536]
+//	      [-instance-sessions 32]
+//
+// Versioned instances give long-lived sessions sub-linear latency:
+// POST /instances solves once and addresses the result by the
+// instance's SHA-256 digest; POST /instances/{digest}/delta applies a
+// batch of point edits (JSON {"edits":[{"node":0,"f":1,"b":2},...]} or
+// the binary delta frame, Content-Type: application/x-sfcp-delta),
+// re-solving only the dirty components when the planner's crossover
+// allows, and re-registers the session under the edited instance's
+// digest. Up to -instance-sessions sessions stay resident; evicted or
+// restart-lost versions rebuild from the blob tier when -data-dir is
+// set.
 //
 // Small solves (auto or linear requests up to -batch-max-n elements) are
 // coalesced: concurrent requests accumulate for up to -batch-wait or
@@ -95,6 +109,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr, dataDir string, cfg serv
 	dir := fs.String("data-dir", "", "directory for the durable job journal and blob tier (empty = in-memory only)")
 	spillN := fs.Int("spill-n", 0, "instance size at which payloads and results spill to the blob tier (0 = 65536 default; needs -data-dir)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte budget (0 = entry-count bound only)")
+	instSessions := fs.Int("instance-sessions", 0, "resident incremental solve sessions (0 = 32 default, negative disables residency)")
 	if err := fs.Parse(args); err != nil {
 		return "", "", server.Config{}, err
 	}
@@ -117,6 +132,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (addr, dataDir string, cfg serv
 		CalibrateBudget:     *calibBudget,
 		SpillN:              *spillN,
 		CacheBytes:          *cacheBytes,
+		InstanceSessions:    *instSessions,
 	}, nil
 }
 

@@ -61,6 +61,83 @@ func TestConformanceAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestConformanceResolve sweeps the incremental re-solve path over every
+// workload family at three delta scales — a single edit, a √n burst, and
+// an n/4 burst — and demands labels byte-identical to a full solve of the
+// edited instance each time. The scales straddle the planner's crossover,
+// so both the component-scoped path and the full-fallback path are pinned
+// to the same contract.
+func TestConformanceResolve(t *testing.T) {
+	for _, fam := range conformanceFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			ins := Instance(fam.gen(11))
+			n := len(ins.F)
+			bursts := []int{1, intSqrt(n), n / 4}
+			inc, err := NewIncremental(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edited := Instance{F: append([]int{}, ins.F...), B: append([]int{}, ins.B...)}
+			rng := uint64(0x9e3779b97f4a7c15)
+			next := func(mod int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int((rng >> 33) % uint64(mod))
+			}
+			for _, burst := range bursts {
+				if burst < 1 {
+					continue
+				}
+				delta := Delta{Edits: make([]Edit, burst)}
+				for i := range delta.Edits {
+					node := next(n)
+					e := Edit{Node: node}
+					switch next(3) {
+					case 0:
+						fv := next(n)
+						e.F = &fv
+						edited.F[node] = fv
+					case 1:
+						bv := next(5)
+						e.B = &bv
+						edited.B[node] = bv
+					default:
+						fv, bv := next(n), next(5)
+						e.F, e.B = &fv, &bv
+						edited.F[node], edited.B[node] = fv, bv
+					}
+					delta.Edits[i] = e
+				}
+				res, err := Resolve(inc, delta)
+				if err != nil {
+					t.Fatalf("burst %d: %v", burst, err)
+				}
+				full, err := SolveWith(edited, Options{})
+				if err != nil {
+					t.Fatalf("burst %d: full solve: %v", burst, err)
+				}
+				if res.NumClasses != full.NumClasses {
+					t.Fatalf("burst %d: %d classes, full solve found %d (mode %s)",
+						burst, res.NumClasses, full.NumClasses, res.Resolve.Mode)
+				}
+				for i := range res.Labels {
+					if res.Labels[i] != full.Labels[i] {
+						t.Fatalf("burst %d: labels[%d] = %d, full solve says %d (mode %s, first divergence)",
+							burst, i, res.Labels[i], full.Labels[i], res.Resolve.Mode)
+					}
+				}
+			}
+		})
+	}
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
 // TestConformanceSolverBatch drives the same differential check through the
 // reusable Solver's batch path, so the scratch-arena reuse and worker-budget
 // splitting are covered by the conformance suite too.

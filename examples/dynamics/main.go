@@ -6,31 +6,39 @@
 // case of bisimulation minimization.
 //
 // The system here is an affine congruential map x -> (a*x + c) mod n with
-// the observation "which quarter of the space x lies in". The example also
+// the observation "which quarter of the space x lies in". The example
 // reports the pseudo-forest statistics that drive the paper's algorithm
-// (cycle structure, tail depths) and shows the PRAM cost scaling over two
-// sizes.
+// (cycle structure, tail depths), shows the PRAM cost scaling over two
+// sizes, and then treats the system as a *live* one: a session of point
+// mutations (re-observed states, rewired transitions) applied through the
+// incremental re-solve API, each answered without re-solving the clean
+// part of the space.
 //
 //	go run ./examples/dynamics
+//
+// With a running sfcpd, the same session can be driven over HTTP through
+// the versioned-instance endpoints (each version is content-addressed by
+// its instance digest):
+//
+//	go run ./cmd/sfcpd -addr localhost:8080 &
+//	go run ./examples/dynamics -server http://localhost:8080
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"time"
 
 	"sfcp"
 )
 
 func analyse(n, a, c int) {
-	f := make([]int, n)
-	b := make([]int, n)
-	for x := 0; x < n; x++ {
-		f[x] = (a*x + c) % n
-		b[x] = x / (n / 4) // observation: quarter of the state space
-		if b[x] > 3 {
-			b[x] = 3
-		}
-	}
+	f, b := affine(n, a, c)
 
 	// Structure: count cycle states and the longest transient tail.
 	onCycle := cycleStates(f)
@@ -70,6 +78,20 @@ func analyse(n, a, c int) {
 		res.Stats.Rounds, res.Stats.Work, float64(res.Stats.Work)/float64(n))
 }
 
+// affine builds the map and its quarter-of-the-space observation.
+func affine(n, a, c int) (f, b []int) {
+	f = make([]int, n)
+	b = make([]int, n)
+	for x := 0; x < n; x++ {
+		f[x] = (a*x + c) % n
+		b[x] = x / (n / 4)
+		if b[x] > 3 {
+			b[x] = 3
+		}
+	}
+	return f, b
+}
+
 func cycleStates(f []int) []bool {
 	n := len(f)
 	state := make([]int8, n)
@@ -100,10 +122,166 @@ func cycleStates(f []int) []bool {
 	return onCycle
 }
 
+// bank builds a system of k independent subsystems: block i is its own
+// affine permutation of l states (5 is odd, so it is a bijection of the
+// block), observed by position within the block. The global map never
+// crosses block boundaries, so the decomposition has k components and a
+// point mutation dirties only the blocks it touches — the regime where
+// incremental re-solve wins.
+func bank(k, l int) (f, b []int) {
+	n := k * l
+	f = make([]int, n)
+	b = make([]int, n)
+	for blk := 0; blk < k; blk++ {
+		base := blk * l
+		for i := 0; i < l; i++ {
+			f[base+i] = base + (5*i+blk)%l
+			b[base+i] = i % 4
+		}
+	}
+	return f, b
+}
+
+// sessionEdits is the mutation script both the local and the HTTP
+// walkthrough replay: a sensor recalibration (one state re-observed), a
+// rewired transition, and a larger re-observation sweep.
+func sessionEdits(n int) [][]sfcp.Edit {
+	obs := func(node, b int) sfcp.Edit { return sfcp.Edit{Node: node, B: &b} }
+	jump := func(node, f int) sfcp.Edit { return sfcp.Edit{Node: node, F: &f} }
+	sweep := make([]sfcp.Edit, 16)
+	for i := range sweep {
+		sweep[i] = obs(i*(n/16), 3)
+	}
+	return [][]sfcp.Edit{
+		{obs(7, 0)},             // one sensor reading corrected
+		{jump(n/2, 1)},          // one transition rewired into the low orbit
+		sweep,                   // a batch recalibration across the space
+		{obs(7, 0), jump(3, 9)}, // mixed edit, both halves of one version
+	}
+}
+
+// live drives the in-process incremental API: one session advanced
+// through the mutation script, each step cross-checked against a full
+// solve of the edited instance.
+func live(k, l int) {
+	f, b := bank(k, l)
+	n := k * l
+	ins := sfcp.Instance{F: f, B: b}
+	inc, err := sfcp.NewIncremental(ins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live session on a bank of %d independent %d-state subsystems (%d states):\n", k, l, n)
+	for _, edits := range sessionEdits(n) {
+		for _, e := range edits { // shadow the edits onto a flat copy
+			if e.F != nil {
+				ins.F[e.Node] = *e.F
+			}
+			if e.B != nil {
+				ins.B[e.Node] = *e.B
+			}
+		}
+		res, err := sfcp.Resolve(inc, sfcp.Delta{Edits: edits})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		full, err := sfcp.SolveWith(ins, sfcp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullDur := time.Since(t0)
+		agree := len(res.Labels) == len(full.Labels)
+		for i := range res.Labels {
+			if res.Labels[i] != full.Labels[i] {
+				agree = false
+				break
+			}
+		}
+		fmt.Printf("  %2d edit(s): %-13s dirty %5.1f%%  %8v vs full %8v  classes %d  identical: %v\n",
+			len(edits), res.Resolve.Mode, 100*res.Resolve.DirtyFrac,
+			res.Resolve.Duration.Round(time.Microsecond), fullDur.Round(time.Microsecond),
+			res.NumClasses, agree)
+	}
+	fmt.Println()
+}
+
+// serve drives the same session against sfcpd's versioned-instance
+// endpoints: POST /instances registers the system under its digest, and
+// each POST /instances/{digest}/delta answers for the edited version and
+// re-registers the session under the child digest.
+func serve(base string, k, l int) {
+	n := k * l
+	f, b := bank(k, l)
+	var created struct {
+		Digest     string  `json:"digest"`
+		N          int     `json:"n"`
+		NumClasses int     `json:"num_classes"`
+		SolveMS    float64 `json:"solve_ms"`
+	}
+	post(base+"/instances?labels=false", map[string]any{"f": f, "b": b}, &created)
+	fmt.Printf("registered %d states as %s… (%d classes, solved in %.2fms)\n",
+		created.N, created.Digest[:12], created.NumClasses, created.SolveMS)
+
+	digest := created.Digest
+	for _, edits := range sessionEdits(n) {
+		var dr struct {
+			ParentDigest   string            `json:"parent_digest"`
+			Digest         string            `json:"digest"`
+			NumClasses     int               `json:"num_classes"`
+			Resolve        *sfcp.ResolveInfo `json:"resolve"`
+			SessionRebuilt bool              `json:"session_rebuilt"`
+			ResolveMS      float64           `json:"resolve_ms"`
+		}
+		post(base+"/instances/"+digest+"/delta?labels=false",
+			sfcp.Delta{Edits: edits}, &dr)
+		note := ""
+		if dr.SessionRebuilt {
+			note = "  (session rebuilt from blob tier)"
+		}
+		fmt.Printf("  %s… + %2d edit(s) -> %s…  %-13s dirty %5.1f%%  %.2fms  classes %d%s\n",
+			digest[:12], len(edits), dr.Digest[:12],
+			dr.Resolve.Mode, 100*dr.Resolve.DirtyFrac, dr.ResolveMS, dr.NumClasses, note)
+		digest = dr.Digest
+	}
+	fmt.Printf("final version: %s\n", digest)
+}
+
+func post(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatalf("POST %s: decoding response: %v", url, err)
+	}
+}
+
 func main() {
+	server := flag.String("server", "",
+		"drive a running sfcpd's /instances delta API instead of the in-process library (e.g. http://localhost:8080)")
+	flag.Parse()
+
+	if *server != "" {
+		serve(*server, 256, 256)
+		return
+	}
 	// A contracting map (many transients) and a bijective map (pure
 	// cycles): the two structural regimes of Sections 4 and 3.
 	analyse(4096, 6, 1)  // gcd(6,4096)>1: heavy tree structure
 	analyse(4096, 5, 3)  // odd multiplier: a permutation of Z_4096
 	analyse(16384, 6, 1) // same map, 4x larger: cost scaling
+	live(256, 256)       // a many-component system, mutated in place
 }

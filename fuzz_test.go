@@ -44,6 +44,87 @@ func FuzzSolve(f *testing.F) {
 	})
 }
 
+// FuzzResolveMatchesFullSolve drives an Incremental session through random
+// edit bursts and demands labels byte-identical to a from-scratch solve of
+// the edited instance after every burst — the incremental path's one
+// correctness contract. Run longer with:
+//
+//	go test -fuzz=FuzzResolveMatchesFullSolve -fuzztime 30s
+func FuzzResolveMatchesFullSolve(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{0, 1, 0, 1}, []byte{1, 0, 5, 2, 2, 3})
+	f.Add([]byte{1, 0}, []byte{0, 0}, []byte{0, 1, 1})
+	f.Add([]byte{3, 3, 3, 3, 2, 1, 0, 7}, []byte{1, 1, 2, 2, 1, 1, 2, 2}, []byte{7, 0, 0, 4, 1, 9, 2, 2, 1})
+	f.Add([]byte{0}, []byte{5}, []byte{0, 2, 1})
+	f.Fuzz(func(t *testing.T, rawF, rawB, rawEdits []byte) {
+		n := len(rawF)
+		if n == 0 || n > 300 || len(rawEdits) > 120 {
+			return
+		}
+		ins := Instance{F: make([]int, n), B: make([]int, n)}
+		for i := range rawF {
+			ins.F[i] = int(rawF[i]) % n
+			if i < len(rawB) {
+				ins.B[i] = int(rawB[i] % 5)
+			}
+		}
+		inc, err := NewIncremental(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// edited shadows the session's current version so every burst can be
+		// cross-checked against a full solve of exactly that version.
+		edited := Instance{F: append([]int{}, ins.F...), B: append([]int{}, ins.B...)}
+		// Each triple of fuzz bytes is one edit: (node, which halves, value).
+		var delta Delta
+		flush := func() {
+			if len(delta.Edits) == 0 {
+				return
+			}
+			res, err := Resolve(inc, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := SolveWith(edited, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NumClasses != full.NumClasses {
+				t.Fatalf("resolve found %d classes, full solve %d", res.NumClasses, full.NumClasses)
+			}
+			for i := range res.Labels {
+				if res.Labels[i] != full.Labels[i] {
+					t.Fatalf("labels[%d] = %d after delta, full solve says %d (F=%v B=%v)",
+						i, res.Labels[i], full.Labels[i], edited.F, edited.B)
+				}
+			}
+			delta.Edits = delta.Edits[:0]
+		}
+		for i := 0; i+2 < len(rawEdits); i += 3 {
+			node := int(rawEdits[i]) % n
+			kind := rawEdits[i+1] % 3
+			val := int(rawEdits[i+2])
+			e := Edit{Node: node}
+			if kind != 1 { // F edit (alone or with B)
+				fv := val % n
+				e.F = &fv
+				edited.F[node] = fv
+			}
+			if kind != 0 { // B edit (alone or with F)
+				bv := val % 5
+				e.B = &bv
+				edited.B[node] = bv
+			}
+			delta.Edits = append(delta.Edits, e)
+			// Burst boundary roughly every third edit, so one run exercises
+			// both multi-edit batches and chained re-resolves.
+			if len(delta.Edits) == 3 {
+				flush()
+			}
+		}
+		flush()
+	})
+}
+
 // FuzzCodecRoundTrip checks the binary wire format is lossless and
 // canonical: every instance decodes back identical and re-encodes to the
 // exact same bytes, with a stable digest. Run longer with:

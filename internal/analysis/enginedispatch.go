@@ -4,71 +4,92 @@ import "go/ast"
 
 // EngineDispatch enforces the PR-4 unification: internal/engine's
 // dispatch table is the only place a coarsest-partition solver may be
-// invoked. Outside internal/engine, internal/coarsest itself and test
-// files, any reference to a solver entry point of internal/coarsest —
-// call, function value, anything — is a finding. Non-solver helpers
-// (Instance, Scratch, NumClasses, SamePartition, ...) stay free to use.
+// invoked. Outside internal/engine, the solver packages themselves and
+// test files, any reference to a solver entry point — call, function
+// value, anything — is a finding. Non-solver helpers (Instance, Scratch,
+// NumClasses, SamePartition, the incr.Edit/Info types, ...) stay free to
+// use. The same rule covers the incremental path: incr.Build constructs
+// live decomposition state, so it must flow through engine.NewIncremental
+// where the planner and calibration profile see it.
 var EngineDispatch = &Analyzer{
 	Name: "enginedispatch",
-	Doc:  "forbid direct use of internal/coarsest solver entry points outside internal/engine",
+	Doc:  "forbid direct use of solver entry points (coarsest solvers, incr.Build) outside internal/engine",
 	Run:  runEngineDispatch,
 }
 
-const coarsestPath = "sfcp/internal/coarsest"
-
-// coarsestEntryPoints are the solver entry points of internal/coarsest:
-// the functions the engine's dispatch table maps Algorithm values to.
-// Adding a solver means adding its names here alongside the dispatch row.
-var coarsestEntryPoints = map[string]bool{
-	"Moore":                   true,
-	"Hopcroft":                true,
-	"LinearSequential":        true,
-	"NativeParallel":          true,
-	"NativeParallelScratch":   true,
-	"NativeParallelCtx":       true,
-	"ParallelPRAM":            true,
-	"ParallelPRAMContext":     true,
-	"DoublingHashPRAM":        true,
-	"DoublingHashPRAMContext": true,
-	"DoublingSortPRAM":        true,
-	"DoublingSortPRAMContext": true,
-	"ChoHuynhPRAM":            true,
+// dispatchRule scopes one guarded package: its solver entry points and
+// the packages allowed to touch them directly.
+type dispatchRule struct {
+	path    string          // guarded import path
+	entries map[string]bool // entry-point identifiers in that package
+	exempt  map[string]bool // packages allowed direct use
 }
 
-// dispatchExempt lists the packages allowed to touch the entry points:
-// the engine (it owns the dispatch table) and coarsest itself.
-var dispatchExempt = map[string]bool{
-	"sfcp/internal/engine":   true,
-	"sfcp/internal/coarsest": true,
+// dispatchRules lists every guarded solver surface. Adding a solver
+// means adding its name here alongside its engine dispatch row.
+var dispatchRules = []dispatchRule{
+	{
+		path: "sfcp/internal/coarsest",
+		entries: map[string]bool{
+			"Moore":                   true,
+			"Hopcroft":                true,
+			"LinearSequential":        true,
+			"NativeParallel":          true,
+			"NativeParallelScratch":   true,
+			"NativeParallelCtx":       true,
+			"ParallelPRAM":            true,
+			"ParallelPRAMContext":     true,
+			"DoublingHashPRAM":        true,
+			"DoublingHashPRAMContext": true,
+			"DoublingSortPRAM":        true,
+			"DoublingSortPRAMContext": true,
+			"ChoHuynhPRAM":            true,
+		},
+		exempt: map[string]bool{
+			"sfcp/internal/engine":   true,
+			"sfcp/internal/coarsest": true,
+		},
+	},
+	{
+		path:    "sfcp/internal/incr",
+		entries: map[string]bool{"Build": true},
+		exempt: map[string]bool{
+			"sfcp/internal/engine":   true,
+			"sfcp/internal/coarsest": true,
+			"sfcp/internal/incr":     true,
+		},
+	},
 }
 
 func runEngineDispatch(p *Pass) error {
-	if dispatchExempt[p.Pkg.Path] {
-		return nil
-	}
-	for _, f := range p.Pkg.Files {
-		if f.IsTest {
+	for _, rule := range dispatchRules {
+		if rule.exempt[p.Pkg.Path] {
 			continue
 		}
-		local, ok := importName(f.AST, coarsestPath)
-		if !ok {
-			continue
-		}
-		if local == "." {
-			// A dot import makes entry-point references untrackable.
-			p.Reportf(f.AST.Name.Pos(), "dot import of %s hides solver entry points; import it by name", coarsestPath)
-			continue
-		}
-		ast.Inspect(f.AST, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || !coarsestEntryPoints[sel.Sel.Name] || !isPkgSel(sel, local, sel.Sel.Name) {
-				return true
+		for _, f := range p.Pkg.Files {
+			if f.IsTest {
+				continue
 			}
-			p.Reportf(sel.Pos(),
-				"direct use of %s.%s outside internal/engine; route the solve through the engine dispatch table",
-				local, sel.Sel.Name)
-			return true
-		})
+			local, ok := importName(f.AST, rule.path)
+			if !ok {
+				continue
+			}
+			if local == "." {
+				// A dot import makes entry-point references untrackable.
+				p.Reportf(f.AST.Name.Pos(), "dot import of %s hides solver entry points; import it by name", rule.path)
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !rule.entries[sel.Sel.Name] || !isPkgSel(sel, local, sel.Sel.Name) {
+					return true
+				}
+				p.Reportf(sel.Pos(),
+					"direct use of %s.%s outside internal/engine; route the solve through the engine dispatch table",
+					local, sel.Sel.Name)
+				return true
+			})
+		}
 	}
 	return nil
 }

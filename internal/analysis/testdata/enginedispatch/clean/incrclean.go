@@ -1,0 +1,9 @@
+// Fixture analyzed under the package path "sfcp/internal/engine": the
+// engine owns the incremental entry point too.
+package engine
+
+import "sfcp/internal/incr"
+
+func newIncrementalRow(f, b []int) (*incr.State, error) {
+	return incr.Build(struct{ F, B []int }{f, b})
+}

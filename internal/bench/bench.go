@@ -72,6 +72,7 @@ func All() []Experiment {
 		{"A5", "Coalescing front door: micro-batched vs per-request small solves (JSON)", A5Coalescing},
 		{"A6", "Planner calibration: fitted profile and the measured curves behind it (JSON)", A6Calibration},
 		{"A7", "Tiered storage: blob spill/read throughput and cold-start recovery (JSON)", A7TieredStorage},
+		{"A8", "Incremental re-solve: delta-apply latency vs full re-solve (JSON)", A8IncrementalResolve},
 	}
 }
 
@@ -1049,11 +1050,23 @@ func A6Calibration(cfg Config) {
 	_ = enc.Encode(doc)
 }
 
+// RunOne executes one experiment with the process-global planner profile
+// saved and restored around it. The profile is engine.SetProfile state
+// shared by every experiment in the process (and by the -calibration-file
+// flag), so an experiment that installs a fitted profile mid-run must not
+// skew the plans of whatever runs after it — -exp order and -all must
+// measure the same planner.
+func RunOne(e Experiment, cfg Config) {
+	prev := engine.InstalledProfile()
+	defer engine.SetProfile(prev)
+	e.Run(cfg)
+}
+
 // RunAll executes every experiment in order.
 func RunAll(cfg Config) {
 	for _, e := range All() {
 		fmt.Fprintf(cfg.Out, "==== %s — %s ====\n", e.ID, e.Title)
-		e.Run(cfg)
+		RunOne(e, cfg)
 		fmt.Fprintln(cfg.Out)
 	}
 }

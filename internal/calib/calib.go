@@ -40,6 +40,13 @@ const (
 	// fewer than this across extra goroutines costs more in startup and
 	// barriers than the added parallelism returns.
 	DefaultWorkerGrain = 1 << 14
+	// DefaultIncrMaxDirtyFrac is the dirty fraction above which an Auto
+	// re-solve falls back from the incremental path to a full solve: the
+	// incremental recompute codes through persistent maps (several times
+	// the full solver's array-backed per-node cost), so past roughly a
+	// third of the instance the full solve wins. Refit per host with the
+	// incremental sweep (`sfcpbench -calibrate`).
+	DefaultIncrMaxDirtyFrac = 0.3
 )
 
 // ProfileVersion is the persisted profile format version. Load rejects
@@ -108,6 +115,12 @@ type Profile struct {
 	// where marginal throughput per added worker collapses even though
 	// cores remain. 0 means no measured cap (budget stays GOMAXPROCS).
 	MaxUsefulWorkers int `json:"max_useful_workers"`
+	// IncrMaxDirtyFrac is the dirty fraction above which an Auto delta
+	// re-solve abandons the incremental path for a full solve. 0 means
+	// unfitted (profiles persisted before the incremental sweep existed);
+	// IncrCrossover resolves it to the package default. Stays within the
+	// version-1 format: old files decode with the field at 0.
+	IncrMaxDirtyFrac float64 `json:"incr_max_dirty_frac,omitempty"`
 	// Host fingerprints the hardware that fitted this profile.
 	Host HostFingerprint `json:"host"`
 	// FittedAt is the RFC 3339 fit time (empty for the default profile).
@@ -125,8 +138,19 @@ func Default() *Profile {
 		MinParallelN:        DefaultMinParallelN,
 		BreakEvenLogDivisor: DefaultBreakEvenLogDivisor,
 		WorkerGrain:         DefaultWorkerGrain,
+		IncrMaxDirtyFrac:    DefaultIncrMaxDirtyFrac,
 		Host:                Fingerprint(),
 	}
+}
+
+// IncrCrossover resolves the effective incremental-vs-full crossover
+// fraction: the fitted field when set, the package default for profiles
+// persisted before the incremental sweep existed.
+func (p *Profile) IncrCrossover() float64 {
+	if p != nil && p.IncrMaxDirtyFrac > 0 {
+		return p.IncrMaxDirtyFrac
+	}
+	return DefaultIncrMaxDirtyFrac
 }
 
 // Source names where the profile's thresholds came from, for plan
@@ -158,6 +182,9 @@ func (p *Profile) Validate() error {
 	}
 	if p.MaxUsefulWorkers < 0 {
 		return fmt.Errorf("calib: max_useful_workers = %d, want >= 0", p.MaxUsefulWorkers)
+	}
+	if p.IncrMaxDirtyFrac < 0 || p.IncrMaxDirtyFrac > 1 {
+		return fmt.Errorf("calib: incr_max_dirty_frac = %v, want 0..1", p.IncrMaxDirtyFrac)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"sfcp/internal/coarsest"
+	"sfcp/internal/incr"
 	"sfcp/internal/workload"
 )
 
@@ -69,6 +70,18 @@ type WorkerPoint struct {
 	ElementsPerSec float64 `json:"elements_per_sec"`
 }
 
+// IncrPoint is one row of the incremental re-solve sweep: best-of-reps
+// wall time of a component-scoped delta application dirtying DirtyNodes
+// of an n-element instance, against a full re-solve of the same edited
+// instance.
+type IncrPoint struct {
+	N          int     `json:"n"`
+	DirtyNodes int     `json:"dirty_nodes"`
+	DirtyFrac  float64 `json:"dirty_frac"`
+	IncrNS     int64   `json:"incr_ns"`
+	FullNS     int64   `json:"full_ns"`
+}
+
 // Report is a full calibration outcome: the fitted profile plus the raw
 // measurements behind it, so a checked-in BENCH_A6.json snapshot shows
 // not just the thresholds but the curve they were read off.
@@ -76,6 +89,7 @@ type Report struct {
 	Profile   Profile          `json:"profile"`
 	Crossover []CrossoverPoint `json:"crossover"`
 	Workers   []WorkerPoint    `json:"worker_scaling"`
+	Incr      []IncrPoint      `json:"incr_resolve,omitempty"`
 	// Truncated reports that the budget expired before every sweep
 	// finished; unfitted fields kept their defaults.
 	Truncated bool `json:"truncated"`
@@ -163,6 +177,53 @@ func Calibrate(ctx context.Context, opts Options) (*Report, error) {
 		logf("calib: workers=%d n=%d wall=%v", w, sweepN, time.Duration(nsBest))
 	}
 
+	// Incremental re-solve sweep: DistinctCycles gives components of
+	// uniform size, so dirtying ceil(frac*k) of k components hits each
+	// target dirty fraction exactly. The same edit batch re-applies every
+	// rep (recomputing an already-applied delta is idempotent and costs
+	// the same region work), and the full-solve baseline runs on the
+	// edited instance — both sides solve the same version.
+	const incrCycleLen = 64
+	incrN := sweepN
+	if k := incrN / incrCycleLen; k >= 2 {
+		iwl := workload.DistinctCycles(opts.Seed+2, k, incrCycleLen, 3)
+		iin := coarsest.Instance{F: iwl.F, B: iwl.B}
+		st, buildErr := incr.Build(iin)
+		if buildErr == nil {
+			for _, frac := range []float64{0.01, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75} {
+				if expired() {
+					rep.Truncated = true
+					break
+				}
+				dirty := int(frac * float64(k))
+				if dirty < 1 {
+					dirty = 1
+				}
+				edits := make([]incr.Edit, dirty)
+				for c := range edits {
+					edits[c] = incr.Edit{Node: c * incrCycleLen, SetB: true, B: 7}
+				}
+				for _, e := range edits {
+					iin.B[e.Node] = e.B
+				}
+				reps := repsFor(incrN)
+				incrNS := bestOf(reps, func() {
+					_, _, _ = st.ApplyDelta(edits)
+				})
+				fullNS := bestOf(reps, func() {
+					coarsest.LinearSequentialScratch(iin, sc)
+				})
+				measured := float64(dirty*incrCycleLen) / float64(incrN)
+				rep.Incr = append(rep.Incr, IncrPoint{
+					N: incrN, DirtyNodes: dirty * incrCycleLen, DirtyFrac: measured,
+					IncrNS: incrNS, FullNS: fullNS,
+				})
+				logf("calib: incr n=%d dirty=%.2f incr=%v full=%v",
+					incrN, measured, time.Duration(incrNS), time.Duration(fullNS))
+			}
+		}
+	}
+
 	p := Default()
 	p.Calibrated = true
 	p.FittedAt = start.UTC().Format(time.RFC3339)
@@ -173,6 +234,9 @@ func Calibrate(ctx context.Context, opts Options) (*Report, error) {
 	if maxW, grain, ok := FitWorkers(sweepN, rep.Workers); ok {
 		p.MaxUsefulWorkers = maxW
 		p.WorkerGrain = grain
+	}
+	if frac, ok := FitIncrCrossover(rep.Incr); ok {
+		p.IncrMaxDirtyFrac = frac
 	}
 	rep.Profile = *p
 	rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -278,6 +342,41 @@ func FitBreakEvenDivisor(cross []CrossoverPoint, workers []WorkerPoint) (int, bo
 		d = 64
 	}
 	return d, true
+}
+
+// FitIncrCrossover reads IncrMaxDirtyFrac off the incremental sweep:
+// walking the ascending measured dirty fractions, the crossover is the
+// midpoint between the last fraction where the incremental path still
+// won and the first where the full solve did. If incremental wins at
+// every measured fraction the crossover is the largest one measured (no
+// extrapolation past the sweep); if it never wins the crossover collapses
+// to the floor. Returns ok=false on an empty sweep (the default stands).
+func FitIncrCrossover(points []IncrPoint) (float64, bool) {
+	if len(points) == 0 {
+		return 0, false
+	}
+	const floor, ceil = 0.01, 0.95
+	lastWin := 0.0
+	for _, pt := range points {
+		if pt.IncrNS >= pt.FullNS {
+			if lastWin == 0 {
+				return floor, true
+			}
+			return clampFrac((lastWin+pt.DirtyFrac)/2, floor, ceil), true
+		}
+		lastWin = pt.DirtyFrac
+	}
+	return clampFrac(lastWin, floor, ceil), true
+}
+
+func clampFrac(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // kneeGain is the minimum throughput multiple a doubling of workers must

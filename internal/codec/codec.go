@@ -54,6 +54,14 @@ const (
 	// pair. Header, digest trailer and chunking are identical, so the two
 	// stream kinds share all machinery and the magic still sniffs both.
 	flagLabels = 0x1
+	// flagDelta marks a delta stream: n counts edits, and each edit is a
+	// uvarint node, one edit-flags byte (editHasF|editHasB, at least one
+	// set) and the present new values as uvarints. Same header, digest
+	// trailer and chunking as the other kinds.
+	flagDelta = 0x2
+
+	editHasF = 0x1
+	editHasB = 0x2
 )
 
 var magic = [4]byte{'S', 'F', 'C', 'P'}
@@ -119,6 +127,28 @@ func DecodeLabels(r io.Reader) ([]int, error) {
 	return NewReader(r).DecodeLabels()
 }
 
+// DeltaEdit is one wire-format point mutation: retarget F[Node] and/or
+// relabel B[Node], with SetF/SetB saying which halves are present. It
+// mirrors the solver's edit type without importing it (the codec stays a
+// leaf package).
+type DeltaEdit struct {
+	Node int
+	F    int
+	B    int
+	SetF bool
+	SetB bool
+}
+
+// EncodeDelta writes one delta stream to w.
+func EncodeDelta(w io.Writer, edits []DeltaEdit) error {
+	return NewWriter(w).EncodeDelta(edits)
+}
+
+// DecodeDelta reads one delta stream from r.
+func DecodeDelta(r io.Reader) ([]DeltaEdit, error) {
+	return NewReader(r).DecodeDelta()
+}
+
 // Writer streams instances to an io.Writer through a fixed-size chunk
 // buffer. Encode may be called repeatedly to concatenate instances.
 type Writer struct {
@@ -174,6 +204,68 @@ func (w *Writer) EncodeLabels(labels []int) error {
 	return w.emit(flagLabels, uint64(len(labels)), labels)
 }
 
+// EncodeDelta writes one delta stream (flags = flagDelta): the edit
+// count, then per edit a uvarint node, an edit-flags byte and the
+// present new values — framed and digested exactly like an instance.
+// Validation happens up front so a rejected delta emits no bytes.
+func (w *Writer) EncodeDelta(edits []DeltaEdit) error {
+	for i, e := range edits {
+		if e.Node < 0 {
+			return fmt.Errorf("codec: edit[%d] node %d negative", i, e.Node)
+		}
+		if !e.SetF && !e.SetB {
+			return fmt.Errorf("codec: edit[%d] sets neither F nor B", i)
+		}
+		if e.SetF && e.F < 0 {
+			return fmt.Errorf("codec: edit[%d] F = %d negative", i, e.F)
+		}
+		if e.SetB && e.B < 0 {
+			return fmt.Errorf("codec: edit[%d] B = %d negative", i, e.B)
+		}
+	}
+	w.hash.reset()
+	w.n = 0
+	copy(w.buf, magic[:])
+	w.buf[4] = Version
+	w.buf[5] = flagDelta
+	w.n = headerSize
+	if err := w.putUvarint(uint64(len(edits))); err != nil {
+		return err
+	}
+	for _, e := range edits {
+		if err := w.putUvarint(uint64(e.Node)); err != nil {
+			return err
+		}
+		var fl byte
+		if e.SetF {
+			fl |= editHasF
+		}
+		if e.SetB {
+			fl |= editHasB
+		}
+		if err := w.putByte(fl); err != nil {
+			return err
+		}
+		if e.SetF {
+			if err := w.putUvarint(uint64(e.F)); err != nil {
+				return err
+			}
+		}
+		if e.SetB {
+			if err := w.putUvarint(uint64(e.B)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.flushHashed(); err != nil {
+		return err
+	}
+	var trailer [TrailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:], w.hash.sum())
+	_, err := w.dst.Write(trailer[:])
+	return err
+}
+
 // emit writes header (with the given flags), n, the arrays' varints and
 // the digest trailer, flushing chunk by chunk.
 func (w *Writer) emit(flags byte, n uint64, arrays ...[]int) error {
@@ -200,6 +292,17 @@ func (w *Writer) emit(flags byte, n uint64, arrays ...[]int) error {
 	binary.LittleEndian.PutUint64(trailer[:], w.hash.sum())
 	_, err := w.dst.Write(trailer[:])
 	return err
+}
+
+func (w *Writer) putByte(c byte) error {
+	if len(w.buf)-w.n < 1 {
+		if err := w.flushHashed(); err != nil {
+			return err
+		}
+	}
+	w.buf[w.n] = c
+	w.n++
+	return nil
 }
 
 func (w *Writer) putUvarint(v uint64) error {
@@ -319,6 +422,69 @@ func (r *Reader) DecodeLabels() ([]int, error) {
 	return labels, nil
 }
 
+// DecodeDelta reads one delta stream (flags = flagDelta) and returns the
+// edits; a clean end of stream returns io.EOF. Streams of the other
+// kinds are rejected by their flags — the three kinds are not
+// confusable.
+func (r *Reader) DecodeDelta() ([]DeltaEdit, error) {
+	n, err := r.readHeader(flagDelta)
+	if err != nil {
+		return nil, err
+	}
+	edits := make([]DeltaEdit, n)
+	for i := range edits {
+		node, err := r.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if node > uint64(maxInt) {
+			return nil, fmt.Errorf("codec: value %d overflows int", node)
+		}
+		fl, err := r.readByte()
+		if err != nil {
+			return nil, err
+		}
+		if fl == 0 || fl&^(editHasF|editHasB) != 0 {
+			return nil, fmt.Errorf("codec: edit[%d] invalid flags %#x", i, fl)
+		}
+		e := DeltaEdit{Node: int(node)}
+		if fl&editHasF != 0 {
+			v, err := r.readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v > uint64(maxInt) {
+				return nil, fmt.Errorf("codec: value %d overflows int", v)
+			}
+			e.SetF, e.F = true, int(v)
+		}
+		if fl&editHasB != 0 {
+			v, err := r.readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v > uint64(maxInt) {
+				return nil, fmt.Errorf("codec: value %d overflows int", v)
+			}
+			e.SetB, e.B = true, int(v)
+		}
+		edits[i] = e
+	}
+	if err := r.verifyTrailer(); err != nil {
+		return nil, err
+	}
+	return edits, nil
+}
+
+func (r *Reader) readByte() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	c := r.buf[r.pos]
+	r.pos++
+	return c, nil
+}
+
 // readHeader resets the per-stream digest, validates magic, version and
 // flags (wantFlags selects the stream kind) and returns the element count
 // n. A clean end of stream surfaces as io.EOF.
@@ -339,8 +505,11 @@ func (r *Reader) readHeader(wantFlags byte) (int, error) {
 		return 0, fmt.Errorf("codec: unsupported version %d (want %d)", hdr[4], Version)
 	}
 	if hdr[5] != wantFlags {
-		if wantFlags == flagLabels {
+		switch wantFlags {
+		case flagLabels:
 			return 0, fmt.Errorf("codec: not a labels stream (flags %#x)", hdr[5])
+		case flagDelta:
+			return 0, fmt.Errorf("codec: not a delta stream (flags %#x)", hdr[5])
 		}
 		return 0, fmt.Errorf("codec: unsupported flags %#x", hdr[5])
 	}

@@ -1,0 +1,137 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func sampleEdits() []DeltaEdit {
+	return []DeltaEdit{
+		{Node: 0, SetF: true, F: 7},
+		{Node: 300, SetB: true, B: 0},
+		{Node: 1 << 20, SetF: true, F: 1 << 19, SetB: true, B: 999},
+		{Node: 5, SetB: true, B: 1 << 30},
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, edits := range [][]DeltaEdit{sampleEdits(), {}, {{Node: 1, SetF: true}}} {
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, edits); err != nil {
+			t.Fatalf("EncodeDelta: %v", err)
+		}
+		got, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeDelta: %v", err)
+		}
+		if len(got) != len(edits) {
+			t.Fatalf("got %d edits, want %d", len(got), len(edits))
+		}
+		for i := range edits {
+			if got[i] != edits[i] {
+				t.Fatalf("edit %d: got %+v, want %+v", i, got[i], edits[i])
+			}
+		}
+	}
+}
+
+func TestDeltaEncodeCanonical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := EncodeDelta(&a, sampleEdits()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeDelta(&b, sampleEdits()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("equal deltas encoded differently")
+	}
+}
+
+func TestDeltaEncodeRejectsInvalid(t *testing.T) {
+	bad := [][]DeltaEdit{
+		{{Node: -1, SetF: true, F: 0}},
+		{{Node: 0}},
+		{{Node: 0, SetF: true, F: -2}},
+		{{Node: 0, SetB: true, B: -1}},
+	}
+	for i, edits := range bad {
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, edits); err == nil {
+			t.Errorf("case %d: EncodeDelta accepted %+v", i, edits[0])
+		}
+		if buf.Len() != 0 {
+			t.Errorf("case %d: rejected delta emitted %d bytes", i, buf.Len())
+		}
+	}
+}
+
+func TestDeltaKindsNotConfusable(t *testing.T) {
+	var ins, lab, del bytes.Buffer
+	if err := Encode(&ins, []int{1, 0}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeLabels(&lab, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeDelta(&del, sampleEdits()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDelta(bytes.NewReader(ins.Bytes())); err == nil {
+		t.Error("DecodeDelta accepted an instance stream")
+	}
+	if _, err := DecodeDelta(bytes.NewReader(lab.Bytes())); err == nil {
+		t.Error("DecodeDelta accepted a labels stream")
+	}
+	if _, _, err := Decode(bytes.NewReader(del.Bytes())); err == nil {
+		t.Error("Decode accepted a delta stream")
+	}
+	if _, err := DecodeLabels(bytes.NewReader(del.Bytes())); err == nil {
+		t.Error("DecodeLabels accepted a delta stream")
+	}
+}
+
+func TestDeltaCorruptionAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDelta(&buf, sampleEdits()); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	// Flip one payload byte: the digest trailer must catch it (or the
+	// payload parse fails first — either way decoding errors).
+	corrupt := append([]byte(nil), wire...)
+	corrupt[headerSize+1] ^= 0x40
+	if _, err := DecodeDelta(bytes.NewReader(corrupt)); err == nil {
+		t.Error("DecodeDelta accepted a corrupted stream")
+	}
+
+	// Truncation mid-payload surfaces as unexpected EOF, not io.EOF.
+	if _, err := DecodeDelta(bytes.NewReader(wire[:len(wire)-TrailerSize-1])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated delta: err = %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Empty stream is a clean EOF.
+	if _, err := DecodeDelta(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDeltaInvalidEditFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeDelta(&buf, []DeltaEdit{{Node: 3, SetF: true, F: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	// The edit-flags byte follows the header, the count uvarint (1) and
+	// the node uvarint (3): header + 1 + 1.
+	for _, fl := range []byte{0x0, 0x4, 0xff} {
+		mut := append([]byte(nil), wire...)
+		mut[headerSize+2] = fl
+		if _, err := DecodeDelta(bytes.NewReader(mut)); err == nil {
+			t.Errorf("flags %#x: DecodeDelta accepted invalid edit flags", fl)
+		}
+	}
+}

@@ -60,6 +60,14 @@ func ActiveProfile() *calib.Profile {
 	return calib.Default()
 }
 
+// InstalledProfile returns exactly what SetProfile last stored — nil when
+// the planner is on its built-in defaults. ActiveProfile is the consulting
+// accessor; this one exists so a caller can save and restore the installed
+// state without turning "defaults" into a pinned copy.
+func InstalledProfile() *calib.Profile {
+	return activeProfile.Load()
+}
+
 // Probe sampling budgets. Sampling is by fixed stride — never randomized —
 // so identical instances always produce identical features and plans.
 const (

@@ -1,0 +1,627 @@
+// Package incr implements incremental re-solve for the single-function
+// coarsest partition problem: a reusable decomposition State built by one
+// full solve, plus ApplyDelta, which re-runs the cycle/tree machinery of
+// the linear algorithm only on the components a batch of edits
+// invalidates and splices the refreshed labels into the previous result
+// under the canonical first-occurrence renumbering — so every version's
+// labels are byte-identical to a full solve of the edited instance.
+//
+// Why component-scoped recompute is sound: a node's Q-label is a function
+// of its forward orbit's B-signature (Lemma 2.1), and the orbit of a node
+// outside the edited components never meets an edited node — components
+// partition the pseudo-forest and orbits stay inside their component. So
+// only the components containing edited nodes can change. The dirty
+// region is widened to also include the components of the edits' new
+// F-targets, which makes it closed under the edited function (every
+// unedited edge stays inside its old component; every edited edge lands
+// in an included component). Closure means the recompute needs no
+// boundary handling at all: it is the full four-step decomposition run on
+// the region as a standalone sub-pseudo-forest.
+//
+// Why spliced labels stay globally consistent: equivalence classes span
+// components (two cycles in different components can share a canonical
+// string; two trees can share pair structure), so the recompute codes
+// through persistent injective maps — canonical cycle string -> class,
+// (class, offset) -> code, cycle code -> anchor code, B label -> dense
+// class, (parent code, B class) -> code — that retain every assignment
+// ever made. A recomputed node whose structure matches a clean node's
+// reaches the same map entry and gets the same code; a genuinely new
+// structure gets a fresh code from the shared counter, so codes stay
+// injective across the clean/dirty boundary. Recomputation is therefore
+// idempotent on unchanged nodes, and one O(n) first-occurrence renumber
+// of the raw codes reproduces exactly the canonical labels a full solve
+// emits. Stale entries (structures that no longer occur) waste code
+// space but never correctness; a rebuild valve re-founds the state when
+// the counter outgrows codeSlack*n.
+package incr
+
+import (
+	"fmt"
+
+	"sfcp/internal/circ"
+	"sfcp/internal/coarsest"
+)
+
+// Edit is one point mutation: retarget F[Node] and/or relabel B[Node].
+// SetF/SetB say which halves apply; an edit setting neither is rejected.
+type Edit struct {
+	Node int  `json:"node"`
+	F    int  `json:"f,omitempty"`
+	B    int  `json:"b,omitempty"`
+	SetF bool `json:"set_f,omitempty"`
+	SetB bool `json:"set_b,omitempty"`
+}
+
+// Info reports what one delta application did.
+type Info struct {
+	// DirtyComponents and DirtyNodes size the invalidated region under
+	// the pre-edit decomposition.
+	DirtyComponents int
+	DirtyNodes      int
+	// DirtyFrac is DirtyNodes / n.
+	DirtyFrac float64
+	// Rebuilt reports that the call re-founded the whole state (the
+	// Rebuild path, or ApplyDelta's code-exhaustion valve) instead of
+	// recomputing only the dirty region.
+	Rebuilt bool
+	// NumClasses is the class count of the refreshed labeling.
+	NumClasses int
+}
+
+// codeSlack bounds persistent code-space growth: a full solve needs at
+// most 2n codes, and stale entries from superseded structures accumulate
+// across deltas, so once the counter passes codeSlack*n the state is
+// re-founded by a full rebuild (resetting it to <= 2n live codes).
+const codeSlack = 4
+
+// State is the reusable decomposition of one instance. It owns private
+// copies of F and B and mutates them as deltas apply. Not safe for
+// concurrent use; callers serialize access per state.
+type State struct {
+	f, b []int
+	n    int
+
+	// True cross-delta state: where each node lives and what it codes to.
+	comp      []int         // node -> component leader (a cycle node)
+	raw       []int         // node -> persistent dense Q-code (0-based)
+	compNodes map[int][]int // leader -> member nodes
+
+	// Persistent coder: injective structure -> code maps shared across
+	// components and deltas (see package comment).
+	canonCls  map[string]int // canonical cycle string -> class
+	classBase []int          // class -> first slot in codeArr
+	codeArr   []int          // class base + offset -> code+1 (0 unassigned)
+	anchor    map[int]int    // cycle code -> anchor code (1-based)
+	bRename   map[int]int    // B label -> dense class
+	pairCodes map[int64]int  // parentCode<<32 | bclass -> code (1-based)
+	nextCode  int
+
+	// Epoch-scoped decomposition arrays: values are meaningful only for
+	// nodes written during the current solveRegion pass (the region is
+	// closed under F, so the pass never consults a stale entry).
+	onCycle  []bool
+	marked   []bool
+	level    []int
+	root     []int
+	cycleOf  []int
+	rankOf   []int
+	cycleLen []int
+	cycleCls []int
+	cycleOff []int
+	cyclePer []int
+	cycStart []int
+
+	// Epoch stamps avoid O(n) clears between deltas: a slot is "set this
+	// pass" iff its stamp matches the current epoch.
+	vstamp  []int
+	lvstamp []int
+	seen    []int
+	epoch   int
+
+	// Grown scratch, reused across passes.
+	path   []int
+	order  []int
+	cycSeq []int
+	bsBuf  []int
+	cnt    []int
+	starts []int
+	region []int
+	key    []byte
+
+	// Renumber scratch: code -> (stamp, id), stamped per renumber pass.
+	idStamp []int
+	idVal   []int
+	renum   int
+
+	labels  []int // current canonical labels (first-occurrence renumbered)
+	classes int
+}
+
+// Build runs one full solve of ins and returns its reusable
+// decomposition state. The instance is copied; later edits to the
+// caller's slices do not affect the state.
+func Build(ins coarsest.Instance) (*State, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{
+		f: append([]int(nil), ins.F...),
+		b: append([]int(nil), ins.B...),
+	}
+	s.init()
+	return s, nil
+}
+
+// N returns the instance size.
+func (s *State) N() int { return s.n }
+
+// Labels returns the current canonical labels. The slice is owned by the
+// state and overwritten by the next delta; callers that retain it must
+// copy.
+func (s *State) Labels() []int { return s.labels }
+
+// NumClasses returns the current class count.
+func (s *State) NumClasses() int { return s.classes }
+
+// Snapshot returns a copy of the current (post-edit) instance.
+func (s *State) Snapshot() coarsest.Instance {
+	return coarsest.Instance{
+		F: append([]int(nil), s.f...),
+		B: append([]int(nil), s.b...),
+	}
+}
+
+// DirtyStats sizes the region a delta would invalidate — the components
+// of the edited nodes and of their new F-targets, under the current
+// decomposition — without applying it. This is the planner's input for
+// choosing between ApplyDelta and Rebuild.
+func (s *State) DirtyStats(edits []Edit) (nodes, comps int, err error) {
+	if err := s.validateEdits(edits); err != nil {
+		return 0, 0, err
+	}
+	leaders := s.dirtyLeaders(edits)
+	for l := range leaders {
+		nodes += len(s.compNodes[l])
+	}
+	return nodes, len(leaders), nil
+}
+
+// ApplyDelta applies the edits and recomputes labels by re-running the
+// decomposition on the dirty region only. Output labels are
+// byte-identical to a full solve of the edited instance. The state's
+// persistent code space grows with structural churn; when it passes
+// codeSlack*n the call transparently rebuilds instead (Info.Rebuilt).
+// The returned slice is owned by the state (see Labels).
+func (s *State) ApplyDelta(edits []Edit) ([]int, Info, error) {
+	if err := s.validateEdits(edits); err != nil {
+		return nil, Info{}, err
+	}
+	if len(edits) == 0 {
+		return s.labels, Info{NumClasses: s.classes}, nil
+	}
+	leaders := s.dirtyLeaders(edits)
+	info := Info{DirtyComponents: len(leaders)}
+	for l := range leaders {
+		info.DirtyNodes += len(s.compNodes[l])
+	}
+	info.DirtyFrac = float64(info.DirtyNodes) / float64(s.n)
+
+	s.applyEdits(edits)
+
+	if s.nextCode > codeSlack*s.n {
+		s.init()
+		info.Rebuilt = true
+		info.NumClasses = s.classes
+		return s.labels, info, nil
+	}
+
+	region := s.region[:0]
+	for l := range leaders {
+		region = append(region, s.compNodes[l]...)
+		delete(s.compNodes, l)
+	}
+	s.region = region
+	s.solveRegion(region)
+	s.renumber()
+	info.NumClasses = s.classes
+	return s.labels, info, nil
+}
+
+// Rebuild applies the edits and re-founds the whole state with a full
+// solve — the planner's fallback when the dirty fraction makes the
+// incremental path a loss. The returned slice is owned by the state.
+func (s *State) Rebuild(edits []Edit) ([]int, Info, error) {
+	if err := s.validateEdits(edits); err != nil {
+		return nil, Info{}, err
+	}
+	leaders := s.dirtyLeaders(edits)
+	info := Info{DirtyComponents: len(leaders), Rebuilt: true}
+	for l := range leaders {
+		info.DirtyNodes += len(s.compNodes[l])
+	}
+	if s.n > 0 {
+		info.DirtyFrac = float64(info.DirtyNodes) / float64(s.n)
+	}
+	s.applyEdits(edits)
+	s.init()
+	info.NumClasses = s.classes
+	return s.labels, info, nil
+}
+
+func (s *State) validateEdits(edits []Edit) error {
+	for i, e := range edits {
+		if e.Node < 0 || e.Node >= s.n {
+			return fmt.Errorf("incr: edit %d: node %d out of range [0,%d)", i, e.Node, s.n)
+		}
+		if !e.SetF && !e.SetB {
+			return fmt.Errorf("incr: edit %d: sets neither F nor B", i)
+		}
+		if e.SetF && (e.F < 0 || e.F >= s.n) {
+			return fmt.Errorf("incr: edit %d: F target %d out of range [0,%d)", i, e.F, s.n)
+		}
+		if e.SetB && e.B < 0 {
+			return fmt.Errorf("incr: edit %d: B label %d negative", i, e.B)
+		}
+	}
+	return nil
+}
+
+// dirtyLeaders collects the component leaders a delta invalidates under
+// the pre-edit decomposition: the edited nodes' components (which also
+// cover the old F-targets — a node and its old target share a component)
+// and the new F-targets' components (which closes the region under the
+// edited function).
+func (s *State) dirtyLeaders(edits []Edit) map[int]struct{} {
+	leaders := make(map[int]struct{}, len(edits)*2)
+	for _, e := range edits {
+		leaders[s.comp[e.Node]] = struct{}{}
+		if e.SetF {
+			leaders[s.comp[e.F]] = struct{}{}
+		}
+	}
+	return leaders
+}
+
+func (s *State) applyEdits(edits []Edit) {
+	for _, e := range edits {
+		if e.SetF {
+			s.f[e.Node] = e.F
+		}
+		if e.SetB {
+			s.b[e.Node] = e.B
+		}
+	}
+}
+
+// init (re)founds the state from the current f/b: fresh coder maps, one
+// full-region solve, canonical renumber. Epoch counters are never reset
+// — stamps stay monotonic so reused arrays need no clearing.
+func (s *State) init() {
+	n := len(s.f)
+	s.n = n
+	s.comp = sized(s.comp, n)
+	s.raw = sized(s.raw, n)
+	s.level = sized(s.level, n)
+	s.root = sized(s.root, n)
+	s.cycleOf = sized(s.cycleOf, n)
+	s.rankOf = sized(s.rankOf, n)
+	s.cycleLen = sized(s.cycleLen, n)
+	s.cycleCls = sized(s.cycleCls, n)
+	s.cycleOff = sized(s.cycleOff, n)
+	s.cyclePer = sized(s.cyclePer, n)
+	s.cycStart = sized(s.cycStart, n)
+	s.vstamp = sized(s.vstamp, n)
+	s.lvstamp = sized(s.lvstamp, n)
+	s.seen = sized(s.seen, n)
+	s.onCycle = sizedBool(s.onCycle, n)
+	s.marked = sizedBool(s.marked, n)
+
+	s.canonCls = make(map[string]int)
+	s.classBase = s.classBase[:0]
+	s.codeArr = s.codeArr[:0]
+	s.anchor = make(map[int]int)
+	s.bRename = make(map[int]int)
+	s.pairCodes = make(map[int64]int)
+	s.nextCode = 0
+	s.compNodes = make(map[int][]int, 16)
+
+	all := sized(s.region, n)
+	for i := range all {
+		all[i] = i
+	}
+	s.region = all
+	s.solveRegion(all)
+	s.renumber()
+}
+
+// solveRegion runs the four-step linear decomposition on a region that
+// is closed under f — either the whole instance (init) or a dirty
+// component union (ApplyDelta) — assigning raw codes through the
+// persistent coder and refreshing comp/compNodes for the region's nodes.
+// The caller must have removed the region's old leaders from compNodes.
+// Region nodes must be distinct.
+func (s *State) solveRegion(nodes []int) {
+	f, b := s.f, s.b
+	s.epoch += 2
+	ep := s.epoch // vstamp: ep = on current walk, ep+1 = resolved
+
+	// Step 1: cycle detection with visit stamps. Every region node gets
+	// an explicit onCycle value this pass.
+	path := s.path[:0]
+	for _, start := range nodes {
+		if s.vstamp[start] >= ep {
+			continue
+		}
+		path = path[:0]
+		x := start
+		for s.vstamp[x] < ep {
+			s.vstamp[x] = ep
+			s.onCycle[x] = false
+			path = append(path, x)
+			x = f[x]
+		}
+		if s.vstamp[x] == ep {
+			for i := len(path) - 1; i >= 0; i-- {
+				s.onCycle[path[i]] = true
+				if path[i] == x {
+					break
+				}
+			}
+		}
+		for _, y := range path {
+			s.vstamp[y] = ep + 1
+		}
+	}
+	s.path = path[:0]
+
+	// Step 2: canonical form per cycle; Q-codes for cycle nodes through
+	// the persistent (class, offset) coder. The leader of a cycle is its
+	// first node seen in region order.
+	cycSeq := s.cycSeq[:0]
+	key := s.key
+	for _, start := range nodes {
+		if !s.onCycle[start] || s.seen[start] == ep {
+			continue
+		}
+		first := len(cycSeq)
+		x := start
+		for s.seen[x] != ep {
+			s.seen[x] = ep
+			cycSeq = append(cycSeq, x)
+			x = f[x]
+		}
+		cyc := cycSeq[first:]
+		s.cycStart[start] = first
+		bs := s.bsBuf[:0]
+		for _, y := range cyc {
+			bs = append(bs, b[y])
+		}
+		s.bsBuf = bs
+		p := circ.SmallestRepeatingPrefix(bs)
+		prefix := bs[:p]
+		msp := circ.BoothMSP(prefix)
+		// Varint-encode the rotated prefix into the reusable key buffer;
+		// the same B values always produce the same bytes, so classes
+		// persist across deltas.
+		key = key[:0]
+		for i := 0; i < p; i++ {
+			v := prefix[(msp+i)%p]
+			for v >= 0x80 {
+				key = append(key, byte(v)|0x80)
+				v >>= 7
+			}
+			key = append(key, byte(v), 0xff)
+		}
+		cls, ok := s.canonCls[string(key)]
+		if !ok {
+			cls = len(s.canonCls)
+			s.canonCls[string(key)] = cls
+			s.classBase = append(s.classBase, len(s.codeArr))
+			for i := 0; i < p; i++ {
+				s.codeArr = append(s.codeArr, 0)
+			}
+		}
+		base := s.classBase[cls]
+		for i, y := range cyc {
+			s.cycleOf[y] = start
+			s.rankOf[y] = i
+			s.cycleLen[y] = len(cyc)
+			s.cycleCls[y] = cls
+			s.cyclePer[y] = p
+			s.cycleOff[y] = msp
+			s.marked[y] = true
+			off := ((i-msp)%p + p) % p
+			code := s.codeArr[base+off]
+			if code == 0 {
+				s.nextCode++
+				code = s.nextCode
+				s.codeArr[base+off] = code
+			}
+			s.raw[y] = code - 1
+		}
+	}
+	s.cycSeq = cycSeq
+	s.key = key
+
+	// Step 3: tree levels, iteratively (deep paths would overflow a
+	// recursion stack): walk up to the first node resolved this pass,
+	// then unwind.
+	maxLevel := 0
+	path = s.path[:0]
+	for _, start := range nodes {
+		x := start
+		path = path[:0]
+		for !s.onCycle[x] && s.lvstamp[x] != ep {
+			path = append(path, x)
+			x = f[x]
+		}
+		var base, r int
+		if s.onCycle[x] {
+			base, r = 0, x
+		} else {
+			base, r = s.level[x], s.root[x]
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			base++
+			y := path[i]
+			s.level[y] = base
+			s.root[y] = r
+			s.lvstamp[y] = ep
+			if base > maxLevel {
+				maxLevel = base
+			}
+		}
+	}
+	s.path = path[:0]
+
+	// Counting sort of the region's tree nodes by level.
+	nTree := 0
+	cnt := sizedZero(s.cnt, maxLevel+2)
+	for _, x := range nodes {
+		if !s.onCycle[x] {
+			cnt[s.level[x]]++
+			nTree++
+		}
+	}
+	starts := sized(s.starts, maxLevel+2)
+	sum := 0
+	for l := 1; l <= maxLevel; l++ {
+		starts[l] = sum
+		sum += cnt[l]
+	}
+	starts[maxLevel+1] = sum
+	order := sized(s.order, nTree)
+	copy(cnt[1:maxLevel+1], starts[1:maxLevel+1]) // reuse cnt as fill cursors
+	for _, x := range nodes {
+		if !s.onCycle[x] {
+			l := s.level[x]
+			order[cnt[l]] = x
+			cnt[l]++
+		}
+	}
+	s.cnt, s.starts, s.order = cnt, starts, order
+
+	// Step 4: mark tree nodes matching their cycle counterpart
+	// (Lemma 4.1) top-down; matches inherit the cycle's (class, offset)
+	// code, which step 2 assigned (a cycle covers every offset of its
+	// class — possibly in an earlier pass, through the same codeArr).
+	for l := 1; l <= maxLevel; l++ {
+		for _, x := range order[starts[l]:starts[l+1]] {
+			m := false
+			if s.marked[f[x]] {
+				r := s.root[x]
+				k := s.cycleLen[r]
+				cr := ((s.rankOf[r]-l)%k + k) % k
+				if b[x] == b[cycSeq[s.cycStart[s.cycleOf[r]]+cr]] {
+					p := s.cyclePer[r]
+					off := ((cr-s.cycleOff[r])%p + p) % p
+					m = true
+					s.raw[x] = s.codeArr[s.classBase[s.cycleCls[r]]+off] - 1
+				}
+			}
+			s.marked[x] = m
+		}
+	}
+
+	// Step 5: unmarked nodes top-down with (B class, parent code) pairs
+	// (Lemma 4.2). All three coders — B rename, marked-parent anchors,
+	// pair codes — are the persistent maps, so structures recomputed
+	// here meet the codes their clean twins already hold. Anchor codes
+	// keep marked parents (cycle codes) from colliding with unmarked
+	// parents (pair codes) in pair-key space.
+	for l := 1; l <= maxLevel; l++ {
+		for _, x := range order[starts[l]:starts[l+1]] {
+			if s.marked[x] {
+				continue
+			}
+			bc, ok := s.bRename[b[x]]
+			if !ok {
+				bc = len(s.bRename)
+				s.bRename[b[x]] = bc
+			}
+			var parentCode int
+			px := f[x]
+			if s.marked[px] {
+				a, ok := s.anchor[s.raw[px]]
+				if !ok {
+					s.nextCode++
+					a = s.nextCode
+					s.anchor[s.raw[px]] = a
+				}
+				parentCode = a - 1
+			} else {
+				parentCode = s.raw[px]
+			}
+			k := int64(parentCode)<<32 | int64(uint32(bc))
+			code, ok := s.pairCodes[k]
+			if !ok {
+				s.nextCode++
+				code = s.nextCode
+				s.pairCodes[k] = code
+			}
+			s.raw[x] = code - 1
+		}
+	}
+
+	// Refresh component membership. Region closure means every region
+	// node's cycle is in-region, so its leader was set this pass.
+	for _, x := range nodes {
+		var leader int
+		if s.onCycle[x] {
+			leader = s.cycleOf[x]
+		} else {
+			leader = s.cycleOf[s.root[x]]
+		}
+		s.comp[x] = leader
+		s.compNodes[leader] = append(s.compNodes[leader], x)
+	}
+}
+
+// renumber converts the persistent raw codes into canonical
+// first-occurrence labels — the same normal form every full solver
+// emits, which is what makes spliced output byte-identical.
+func (s *State) renumber() {
+	if cap(s.idStamp) < s.nextCode {
+		s.idStamp = make([]int, s.nextCode)
+		s.idVal = make([]int, s.nextCode)
+	}
+	idStamp := s.idStamp[:s.nextCode]
+	idVal := s.idVal[:s.nextCode]
+	s.renum++
+	rn := s.renum
+	if s.labels == nil || len(s.labels) != s.n {
+		s.labels = make([]int, s.n)
+	}
+	next := 0
+	for i, c := range s.raw {
+		if idStamp[c] != rn {
+			idStamp[c] = rn
+			idVal[c] = next
+			next++
+		}
+		s.labels[i] = idVal[c]
+	}
+	s.classes = next
+}
+
+func sized(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func sizedZero(buf []int, n int) []int {
+	buf = sized(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func sizedBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}

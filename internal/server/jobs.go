@@ -147,6 +147,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		NumClasses:        res.NumClasses,
 		Cached:            snap.Cached,
 		ElapsedMS:         snap.ElapsedMS,
+		ResolveMS:         snap.ResolveMS,
 		Stats:             res.Stats,
 	})
 }

@@ -72,6 +72,14 @@ const (
 	metricStoreRecoveredJobsTotal  = "sfcpd_store_recovered_jobs_total"
 	metricStoreJournalCorruptTotal = "sfcpd_store_journal_corrupt_total"
 	metricCacheBytes               = "sfcpd_cache_bytes"
+
+	// Incremental re-solve families: deltas applied by mode (the
+	// component-scoped incremental path vs the full-re-solve fallback the
+	// planner or code-space exhaustion forced), and a histogram of the
+	// dirty fraction each delta invalidated — the quantity the planner's
+	// crossover decision is made on.
+	metricResolveTotal     = "sfcpd_resolve_total"
+	metricResolveDirtyFrac = "sfcpd_resolve_dirty_frac"
 )
 
 // typeHeader renders one family's exposition-format type line.
@@ -99,7 +107,17 @@ type metrics struct {
 	batcherFlushes    map[string]int64 // flushes by reason ("size", "deadline")
 	batcherQueueWait  time.Duration    // summed per-request coalescing wait
 	batcherQueueCount int64            // requests contributing to that sum
+
+	resolves       map[string]int64                 // deltas by resolve mode
+	dirtyBuckets   [len(dirtyFracBounds) + 1]int64 // histogram counts, last = +Inf
+	dirtyFracSum   float64
+	dirtyFracCount int64
 }
+
+// dirtyFracBounds are the dirty-fraction histogram's upper bounds; the
+// planner's default crossover (0.3) falls between two of them so a scrape
+// shows which side of the decision traffic lands on.
+var dirtyFracBounds = [...]float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1}
 
 type solveStats struct {
 	count   int64
@@ -119,7 +137,23 @@ func newMetrics() *metrics {
 		planErrs: map[string]int64{},
 
 		batcherFlushes: map[string]int64{},
+		resolves:       map[string]int64{},
 	}
+}
+
+// resolve records one applied delta: the mode the planner resolved
+// (incremental or full fallback) and the dirty fraction it measured.
+func (m *metrics) resolve(mode string, dirtyFrac float64) {
+	m.mu.Lock()
+	m.resolves[mode]++
+	i := 0
+	for i < len(dirtyFracBounds) && dirtyFrac > dirtyFracBounds[i] {
+		i++
+	}
+	m.dirtyBuckets[i]++
+	m.dirtyFracSum += dirtyFrac
+	m.dirtyFracCount++
+	m.mu.Unlock()
 }
 
 // plan records one planner resolution: which concrete algorithm a request
@@ -264,6 +298,18 @@ func (m *metrics) render() string {
 	emit("%s %g\n", metricBatcherQueueSecondsSum, m.batcherQueueWait.Seconds())
 	emit(typeHeader(metricBatcherQueueSecondsCount, "counter"))
 	emit("%s %d\n", metricBatcherQueueSecondsCount, m.batcherQueueCount)
+	emit(typeHeader(metricResolveTotal, "counter"))
+	emit("%s{mode=%q} %d\n", metricResolveTotal, sfcp.ResolveModeIncremental, m.resolves[sfcp.ResolveModeIncremental])
+	emit("%s{mode=%q} %d\n", metricResolveTotal, sfcp.ResolveModeFullFallback, m.resolves[sfcp.ResolveModeFullFallback])
+	emit(typeHeader(metricResolveDirtyFrac, "histogram"))
+	cum := int64(0)
+	for i, bound := range dirtyFracBounds {
+		cum += m.dirtyBuckets[i]
+		emit("%s_bucket{le=\"%g\"} %d\n", metricResolveDirtyFrac, bound, cum)
+	}
+	emit("%s_bucket{le=\"+Inf\"} %d\n", metricResolveDirtyFrac, m.dirtyFracCount)
+	emit("%s_sum %g\n", metricResolveDirtyFrac, m.dirtyFracSum)
+	emit("%s_count %d\n", metricResolveDirtyFrac, m.dirtyFracCount)
 	return string(b)
 }
 
@@ -310,6 +356,9 @@ func renderCalibration(p *sfcp.CalibrationProfile) string {
 		emit("%s{field=%q} %d\n", metricPlanProfile, "break_even_log_divisor", p.BreakEvenLogDivisor)
 		emit("%s{field=%q} %d\n", metricPlanProfile, "worker_grain", p.WorkerGrain)
 		emit("%s{field=%q} %d\n", metricPlanProfile, "max_useful_workers", p.MaxUsefulWorkers)
+		// The effective incremental-vs-full crossover (package default
+		// when the profile predates the field).
+		emit("%s{field=%q} %g\n", metricPlanProfile, "incr_max_dirty_frac", p.IncrCrossover())
 	}
 	return string(b)
 }

@@ -1,11 +1,13 @@
 // Package server implements sfcpd's HTTP API: a batching
 // partition-solving service over the sfcp library. Endpoints:
 //
-//	POST /solve        one instance
-//	POST /solve/batch  many instances, solved concurrently
-//	POST /calibrate    re-fit the planner's calibration profile on this host
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus-style counters
+//	POST /solve                     one instance
+//	POST /solve/batch               many instances, solved concurrently
+//	POST /instances                 register a versioned instance (solve + content address)
+//	POST /instances/{digest}/delta  apply edits to a version, solved incrementally
+//	POST /calibrate                 re-fit the planner's calibration profile on this host
+//	GET  /healthz                   liveness
+//	GET  /metrics                   Prometheus-style counters
 //
 // Bodies are JSON by default; POST routes also accept
 // Content-Type: application/x-sfcp — the binary wire format of
@@ -118,6 +120,11 @@ type Config struct {
 	// CacheBytes additionally bounds the result LRU by estimated
 	// resident bytes (0 = entries-only, the original behavior).
 	CacheBytes int64
+	// InstanceSessions bounds how many incremental solve sessions (the
+	// versioned-instance API's resident decomposition states, each O(n)
+	// memory) stay live at once (default 32; negative disables
+	// residency — every delta rebuilds from the blob tier).
+	InstanceSessions int
 	// Logf receives storage and recovery diagnostics (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -156,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.SpillN <= 0 {
 		c.SpillN = 1 << 16
 	}
+	if c.InstanceSessions == 0 {
+		c.InstanceSessions = 32
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -190,6 +200,7 @@ type SolveResponse struct {
 	ElapsedMS         float64     `json:"elapsed_ms"`
 	PlanMS            float64     `json:"plan_ms,omitempty"`
 	SolveMS           float64     `json:"solve_ms,omitempty"`
+	ResolveMS         float64     `json:"resolve_ms,omitempty"`
 	Stats             *sfcp.Stats `json:"stats,omitempty"`
 	Error             string      `json:"error,omitempty"`
 
@@ -231,6 +242,10 @@ type Server struct {
 	jobs    *jobs.Manager
 	logf    func(format string, args ...any)
 
+	// sessions holds the versioned-instance API's resident incremental
+	// solve states, keyed by the digest of the version each represents.
+	sessions *sessionRegistry
+
 	// blobs is the metered durable result tier (nil in zero-config mode);
 	// the meter wraps the configured BlobStore so job-manager and
 	// solve-path traffic both land in the sfcpd_store_* counters.
@@ -261,6 +276,8 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		solvers: map[sfcp.Algorithm]*sfcp.Solver{},
 		logf:    cfg.Logf,
+
+		sessions: newSessionRegistry(cfg.InstanceSessions),
 	}
 	// The meter wraps the blob tier once so every consumer — the job
 	// manager's spill/reload traffic and the solve path's read/write
@@ -318,6 +335,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /calibrate", s.handleCalibrate)
+	s.mux.HandleFunc("POST /instances", s.handleInstanceCreate)
+	s.mux.HandleFunc("POST /instances/{digest}/delta", s.handleInstanceDelta)
 	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)

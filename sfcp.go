@@ -147,6 +147,10 @@ type Result struct {
 	// Plan is the resolved execution plan — with AlgorithmAuto this is how
 	// callers learn which solver actually ran and why.
 	Plan *Plan
+	// Resolve explains how a delta was applied (incremental vs full
+	// fallback, dirty-set sizes); set only by Resolve, nil for plain
+	// solves.
+	Resolve *ResolveInfo
 	// Timings is the per-stage wall clock of this solve.
 	Timings Timings
 }

@@ -49,6 +49,53 @@ func DecodeLabelsBinary(r io.Reader) ([]int, error) {
 	return codec.DecodeLabels(r)
 }
 
+// DeltaBinaryMediaType is the MIME type under which sfcpd accepts deltas
+// in the binary wire format on POST /instances/{digest}/delta.
+const DeltaBinaryMediaType = "application/x-sfcp-delta"
+
+// EncodeDeltaBinary writes a delta to w as a binary wire stream: the
+// same chunked, digest-trailed framing as an instance, with a flags byte
+// marking the edit-list payload (per edit: node, an F/B presence byte,
+// and the present new values as varints).
+func EncodeDeltaBinary(w io.Writer, delta Delta) error {
+	edits := make([]codec.DeltaEdit, len(delta.Edits))
+	for i, e := range delta.Edits {
+		de := codec.DeltaEdit{Node: e.Node}
+		if e.F != nil {
+			de.SetF, de.F = true, *e.F
+		}
+		if e.B != nil {
+			de.SetB, de.B = true, *e.B
+		}
+		edits[i] = de
+	}
+	return codec.EncodeDelta(w, edits)
+}
+
+// DecodeDeltaBinary reads one binary wire-format delta from r. Instance
+// and labels streams are rejected by their flags; a clean end of stream
+// returns io.EOF.
+func DecodeDeltaBinary(r io.Reader) (Delta, error) {
+	wireEdits, err := codec.DecodeDelta(r)
+	if err != nil {
+		return Delta{}, err
+	}
+	delta := Delta{Edits: make([]Edit, len(wireEdits))}
+	for i, de := range wireEdits {
+		e := Edit{Node: de.Node}
+		if de.SetF {
+			f := de.F
+			e.F = &f
+		}
+		if de.SetB {
+			b := de.B
+			e.B = &b
+		}
+		delta.Edits[i] = e
+	}
+	return delta, nil
+}
+
 // BinaryDecoder streams instances out of a binary wire-format stream. Its
 // chunked reads buffer ahead, so it — not repeated DecodeBinary calls on
 // the same reader — is the way to drain concatenated instances:
